@@ -1,0 +1,58 @@
+// Ablation — scratchpad size: how much SPM does the Figure 1 result need?
+// Sweeps the per-tile SPM (which bounds how many strided streams can be
+// double-buffered) via the DMA chunk size, on the stream-heaviest kernel
+// (SP) and the gather-heavy one (CG).
+#include <cstdio>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "kernels/nas.hpp"
+#include "memsim/system.hpp"
+
+int main(int argc, char** argv) {
+  const raa::Cli cli{argc, argv};
+  raa::mem::SystemConfig base_cfg;
+  base_cfg.tiles = static_cast<unsigned>(cli.get_int("tiles", 64));
+
+  std::printf(
+      "Ablation: DMA chunk size (per-stream SPM budget) vs hybrid speedup\n\n");
+  raa::Table t{{"chunk KiB", "SP time x", "SP noc x", "CG time x",
+                "CG noc x"}};
+  for (const unsigned chunk_kib : {1u, 2u, 4u, 8u}) {
+    raa::mem::SystemConfig cfg = base_cfg;
+    cfg.dma_chunk_bytes = chunk_kib * 1024;
+    // Keep the double-buffered footprint inside the SPM.
+    cfg.spm_bytes = std::max(cfg.spm_bytes, 16 * cfg.dma_chunk_bytes);
+    std::vector<std::string> row{std::to_string(chunk_kib)};
+    for (const char* name : {"SP", "CG"}) {
+      const auto& kernels = raa::kern::nas_kernels();
+      const auto it =
+          std::find_if(kernels.begin(), kernels.end(),
+                       [&](const auto& k) { return k.name == name; });
+      raa::mem::Metrics base, hyb;
+      {
+        auto w = it->make(cfg, 1);
+        raa::mem::System sys{cfg, raa::mem::HierarchyMode::cache_only};
+        base = sys.run(w);
+      }
+      {
+        auto w = it->make(cfg, 1);
+        raa::mem::System sys{cfg, raa::mem::HierarchyMode::hybrid};
+        hyb = sys.run(w);
+      }
+      char a[32], b[32];
+      std::snprintf(a, sizeof a, "%.3f", base.cycles / hyb.cycles);
+      std::snprintf(b, sizeof b, "%.3f",
+                    base.noc_flit_hops / hyb.noc_flit_hops);
+      row.push_back(a);
+      row.push_back(b);
+    }
+    t.row(std::move(row));
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nLarger chunks amortise DMA control and directory transactions; "
+      "beyond a few KiB the return diminishes (SPM capacity pressure).\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Ablation — §3.2's "both serial and parallel variants" of the VPI/VLU
+// hardware: VSR sort cycles with each variant across lane counts.
+#include <cstdio>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "sort/sorts.hpp"
+
+int main(int argc, char** argv) {
+  const raa::Cli cli{argc, argv};
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 65536));
+
+  const auto make_keys = [&](std::uint64_t seed) {
+    raa::Rng rng{seed};
+    std::vector<raa::vec::Elem> v(n);
+    for (auto& x : v) x = rng.below(1ull << 32);
+    return v;
+  };
+
+  std::printf("Ablation: serial vs parallel VPI/VLU hardware (VSR, MVL=64)\n\n");
+  raa::Table t{{"lanes", "serial CPT", "parallel CPT", "parallel gain"}};
+  for (const unsigned lanes : {1u, 2u, 4u, 8u}) {
+    auto d1 = make_keys(1);
+    auto d2 = make_keys(1);
+    const auto ser = raa::sort::run_vector_sort(
+        raa::sort::Algorithm::vsr,
+        raa::vec::VpuConfig{.mvl = 64, .lanes = lanes, .parallel_vpi = false},
+        d1);
+    const auto par = raa::sort::run_vector_sort(
+        raa::sort::Algorithm::vsr,
+        raa::vec::VpuConfig{.mvl = 64, .lanes = lanes, .parallel_vpi = true},
+        d2);
+    char gain[32];
+    std::snprintf(gain, sizeof gain, "%.2fx",
+                  static_cast<double>(ser.cycles) /
+                      static_cast<double>(par.cycles));
+    t.row(static_cast<int>(lanes), ser.cpt(n), par.cpt(n),
+          std::string{gain});
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nWith one lane the serial variant is already competitive (the "
+      "paper's 'works well both with and without parallel lockstepped "
+      "lanes'); at higher lane counts the serial unit becomes the "
+      "bottleneck and the parallel variant pays off.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// google-benchmark micro-benchmarks of the substrates themselves: task
+// spawn/dependence-tracking throughput of the runtime, simulated-access
+// throughput of the memory-hierarchy model, vector-instruction throughput
+// of the VPU model, and SpMV of the solver.
+#include <benchmark/benchmark.h>
+
+#include "memsim/system.hpp"
+#include "runtime/runtime.hpp"
+#include "solver/csr.hpp"
+#include "vector/vpu.hpp"
+
+namespace {
+
+void BM_RuntimeSpawnIndependent(benchmark::State& state) {
+  for (auto _ : state) {
+    raa::rt::Runtime rt;  // serial: measures spawn + bookkeeping cost
+    for (int i = 0; i < state.range(0); ++i) rt.spawn([] {});
+    rt.taskwait();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RuntimeSpawnIndependent)->Arg(1024);
+
+void BM_RuntimeSpawnWithDeps(benchmark::State& state) {
+  std::vector<double> slots(16);
+  for (auto _ : state) {
+    raa::rt::Runtime rt;
+    for (int i = 0; i < state.range(0); ++i)
+      rt.spawn({raa::rt::inout(slots[static_cast<std::size_t>(i) % 16])},
+               [] {});
+    rt.taskwait();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RuntimeSpawnWithDeps)->Arg(1024);
+
+void BM_MemsimAccessThroughput(benchmark::State& state) {
+  // One strided stream through the cache side of a 16-tile system.
+  raa::mem::SystemConfig cfg;
+  cfg.tiles = 16;
+  cfg.mesh_x = cfg.mesh_y = 4;
+  struct Stream final : raa::mem::CoreProgram {
+    std::uint64_t i = 0, n;
+    explicit Stream(std::uint64_t count) : n(count) {}
+    bool next(raa::mem::Access& out) override {
+      if (i >= n) return false;
+      out = raa::mem::Access{(1 << 20) + i * 8, false,
+                             raa::mem::RefClass::random_noalias, 0};
+      ++i;
+      return true;
+    }
+  };
+  const auto accesses = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    raa::mem::Workload w;
+    w.name = "micro";
+    w.programs.push_back(std::make_unique<Stream>(accesses));
+    for (unsigned c = 1; c < cfg.tiles; ++c)
+      w.programs.push_back(std::make_unique<Stream>(0));
+    raa::mem::System sys{cfg, raa::mem::HierarchyMode::cache_only};
+    benchmark::DoNotOptimize(sys.run(w));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(accesses));
+}
+BENCHMARK(BM_MemsimAccessThroughput)->Arg(1 << 14);
+
+void BM_VpuGatherInstruction(benchmark::State& state) {
+  raa::vec::Vpu vpu{raa::vec::VpuConfig{.mvl = 64, .lanes = 4}};
+  std::vector<raa::vec::Elem> mem(4096);
+  raa::vec::Vreg idx(64);
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = (i * 67) % 4096;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vpu.vgather(mem.data(), idx));
+    vpu.sync();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_VpuGatherInstruction);
+
+void BM_VpuVpiInstruction(benchmark::State& state) {
+  raa::vec::Vpu vpu{raa::vec::VpuConfig{.mvl = 64, .lanes = 4}};
+  raa::vec::Vreg in(64);
+  for (std::size_t i = 0; i < in.size(); ++i) in[i] = i % 7;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vpu.vpi(in));
+    vpu.sync();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_VpuVpiInstruction);
+
+void BM_SolverSpmv(benchmark::State& state) {
+  const auto a = raa::solver::laplacian_2d(
+      static_cast<std::size_t>(state.range(0)),
+      static_cast<std::size_t>(state.range(0)));
+  std::vector<double> x(a.n, 1.0), y(a.n);
+  for (auto _ : state) {
+    raa::solver::spmv(a, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(a.nnz()));
+}
+BENCHMARK(BM_SolverSpmv)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

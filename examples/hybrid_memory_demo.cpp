@@ -1,0 +1,57 @@
+// Hybrid memory hierarchy demo (Sec. 2): run one NAS-like kernel on a small
+// tiled manycore under both configurations and show where the accesses went
+// and what it cost.
+#include <cstdio>
+
+#include "kernels/nas.hpp"
+#include "memsim/system.hpp"
+
+namespace {
+
+void report(const char* tag, const raa::mem::Metrics& m) {
+  std::printf("%s\n", tag);
+  std::printf("  cycles        %12.0f\n", m.cycles);
+  std::printf("  energy (uJ)   %12.2f\n", m.energy_pj() * 1e-6);
+  std::printf("  NoC flit-hops %12.0f\n", m.noc_flit_hops);
+  std::printf("  L1 hits/misses     %10llu / %llu\n",
+              static_cast<unsigned long long>(m.l1_hits),
+              static_cast<unsigned long long>(m.l1_misses));
+  std::printf("  SPM hits           %10llu\n",
+              static_cast<unsigned long long>(m.spm_hits));
+  std::printf("  DMA transfers      %10llu\n",
+              static_cast<unsigned long long>(m.dma_transfers));
+  std::printf("  guarded accesses   %10llu (to SPM: %llu)\n",
+              static_cast<unsigned long long>(m.guarded_lookups),
+              static_cast<unsigned long long>(m.guarded_to_spm));
+}
+
+}  // namespace
+
+int main() {
+  raa::mem::SystemConfig cfg;
+  cfg.tiles = 16;
+  cfg.mesh_x = cfg.mesh_y = 4;
+
+  std::printf(
+      "FT kernel (strided FFT passes + transpose with unknown aliasing) on "
+      "a 16-tile mesh\n\n");
+  raa::mem::Metrics base, hybrid;
+  {
+    auto w = raa::kern::make_ft(cfg, 1);
+    raa::mem::System sys{cfg, raa::mem::HierarchyMode::cache_only};
+    base = sys.run(w);
+  }
+  {
+    auto w = raa::kern::make_ft(cfg, 1);
+    raa::mem::System sys{cfg, raa::mem::HierarchyMode::hybrid};
+    hybrid = sys.run(w);
+  }
+  report("cache-only baseline:", base);
+  std::printf("\n");
+  report("hybrid SPM+cache (co-designed coherence protocol):", hybrid);
+  std::printf("\nspeedups: time %.3fx, energy %.3fx, NoC %.3fx\n",
+              base.cycles / hybrid.cycles,
+              base.energy_pj() / hybrid.energy_pj(),
+              base.noc_flit_hops / hybrid.noc_flit_hops);
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Resilient CG demo (Sec. 4): inject a Detected-Uncorrected-Error into the
+// iterate of a CG solve and recover it exactly with FEIR (forward error
+// interpolation recovery), comparing against checkpoint/rollback.
+#include <cstdio>
+
+#include "solver/cg.hpp"
+
+int main() {
+  const auto a = raa::solver::laplacian_2d(96, 96);
+  const std::vector<double> b(a.n, 1.0);
+  std::printf("CG on a 2-D Poisson system, n=%zu (thermal2 stand-in)\n\n",
+              a.n);
+
+  std::vector<double> x;
+  const auto ideal = raa::solver::solve_cg(
+      a, b, x, raa::solver::CgOptions{.rel_tolerance = 1e-8});
+  std::printf("ideal run: %zu iterations, %.2f ms simulated\n",
+              ideal.iterations, 1e3 * ideal.time_s);
+
+  const auto inject = ideal.iterations / 2;
+  for (const auto rec :
+       {raa::solver::Recovery::checkpoint,
+        raa::solver::Recovery::lossy_restart, raa::solver::Recovery::feir,
+        raa::solver::Recovery::afeir}) {
+    raa::solver::CgOptions opt;
+    opt.rel_tolerance = 1e-8;
+    opt.recovery = rec;
+    opt.checkpoint_interval = 100;
+    opt.fault = raa::solver::FaultSpec{.enabled = true, .iteration = inject};
+    std::vector<double> x2;
+    const auto r = raa::solver::solve_cg(a, b, x2, opt);
+    std::printf(
+        "%-14s DUE at iter %4zu: %4zu iterations, %.2f ms (+%.2f%%), "
+        "recovery %5.1f us\n",
+        raa::solver::to_string(rec), inject, r.iterations, 1e3 * r.time_s,
+        100.0 * (r.time_s / ideal.time_s - 1.0), 1e6 * r.recovery_time_s);
+  }
+  std::printf(
+      "\nFEIR reconstructs the lost block exactly from r = b - A*x (inner "
+      "solve on A_II); AFEIR runs that solve as a task off the critical "
+      "path.\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Task-graph inspection: build a tiled-Cholesky TDG, compute criticality
+// (Sec. 3.1), replay it on simulated machines of different widths, and dump
+// Graphviz with the critical path highlighted.
+#include <cstdio>
+
+#include "rsu/criticality.hpp"
+#include "runtime/graph.hpp"
+#include "simcore/tdg_sim.hpp"
+
+int main() {
+  const auto g = raa::tdg::Synthetic::cholesky(5, 1000.0);
+  std::printf("tiled Cholesky (5x5 tiles): %zu tasks, %zu edges\n",
+              g.node_count(), g.edge_count());
+  std::printf("critical path: %.0f cycles, parallelism: %.2f\n",
+              g.critical_path_length(), g.parallelism());
+
+  const auto mask = raa::rsu::critical_tasks(g, 0.05);
+  std::size_t critical = 0;
+  for (const bool m : mask) critical += m;
+  std::printf("critical tasks (5%% slack band): %zu of %zu (%.0f%% of work)\n",
+              critical, mask.size(),
+              100.0 * raa::rsu::critical_work_fraction(g, mask));
+
+  for (const unsigned cores : {1u, 4u, 16u, 64u}) {
+    const auto r = raa::sim::replay(g, raa::sim::MachineConfig{.cores = cores},
+                                    raa::sim::priority_bottom_level());
+    std::printf("  %2u cores: makespan %8.0f ns, utilisation %.0f%%\n", cores,
+                r.makespan_ns, 100.0 * r.utilization(cores));
+  }
+
+  std::printf("\nGraphviz (critical path filled):\n%s",
+              raa::tdg::Synthetic::cholesky(3, 1000.0).to_dot().c_str());
+  return 0;
+}

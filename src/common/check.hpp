@@ -1,0 +1,30 @@
+#pragma once
+/// \file check.hpp
+/// RAA_CHECK: precondition/invariant checking that is active in every build
+/// type (simulators must never silently continue past a broken invariant —
+/// the numbers they produce would be garbage).
+
+#include <stdexcept>
+#include <string>
+
+namespace raa::detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  throw std::logic_error(std::string{"RAA_CHECK failed: "} + expr + " at " +
+                         file + ":" + std::to_string(line) +
+                         (msg.empty() ? "" : (" — " + msg)));
+}
+}  // namespace raa::detail
+
+/// Abort (by throwing std::logic_error) when cond is false.
+#define RAA_CHECK(cond)                                                \
+  do {                                                                 \
+    if (!(cond)) ::raa::detail::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (false)
+
+/// Same, with a context message built from a std::string expression.
+#define RAA_CHECK_MSG(cond, msg)                                        \
+  do {                                                                  \
+    if (!(cond))                                                        \
+      ::raa::detail::check_failed(#cond, __FILE__, __LINE__, (msg));    \
+  } while (false)

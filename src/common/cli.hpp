@@ -1,0 +1,33 @@
+#pragma once
+/// \file cli.hpp
+/// Minimal --key=value flag parser for examples and benches. Not a general
+/// argument library: just enough to parameterise experiment harnesses
+/// (sizes, seeds, core counts) without external dependencies.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace raa {
+
+/// Parses flags of the form --name=value or --name (boolean true).
+/// Unrecognised positional arguments are ignored.
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  /// Look up a flag; returns fallback when absent or malformed.
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// True when the flag appeared on the command line.
+  bool has(const std::string& name) const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+};
+
+}  // namespace raa

@@ -1,0 +1,105 @@
+#pragma once
+/// \file rng.hpp
+/// Deterministic pseudo-random number generation for all RAA simulators.
+///
+/// Every experiment in this repository must regenerate bit-identically from a
+/// seed, so we ship our own small PRNG (xoshiro256**, public-domain algorithm
+/// by Blackman & Vigna) instead of relying on implementation-defined
+/// std::default_random_engine behaviour. Streams can be split so concurrent
+/// components draw independent sequences without sharing state.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace raa {
+
+/// SplitMix64: used to expand a 64-bit seed into xoshiro state and to derive
+/// independent child seeds.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG. Satisfies std::uniform_random_bit_generator, so it can
+/// be plugged into <random> distributions when convenient.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Construct from a 64-bit seed (expanded through SplitMix64).
+  explicit constexpr Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0. Uses Lemire's
+  /// multiply-shift rejection-free mapping (bias is < 2^-64, irrelevant for
+  /// simulation workloads).
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    __extension__ using u128 = unsigned __int128;
+    const auto wide = static_cast<u128>(operator()()) * bound;
+    return static_cast<std::uint64_t>(wide >> 64);
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  constexpr std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() noexcept {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Bernoulli draw with probability p of returning true.
+  constexpr bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Derive an independent child generator; the parent advances once.
+  constexpr Rng split() noexcept { return Rng{operator()()}; }
+
+  /// Fisher-Yates shuffle of a random-access container.
+  template <typename Container>
+  constexpr void shuffle(Container& c) noexcept {
+    for (std::size_t i = c.size(); i > 1; --i) {
+      const std::size_t j = below(i);
+      using std::swap;
+      swap(c[i - 1], c[j]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace raa

@@ -1,0 +1,48 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+
+namespace raa {
+
+Summary summarize(std::span<const double> xs) noexcept {
+  Summary s;
+  if (xs.empty()) return s;
+  s.count = xs.size();
+  s.min = xs.front();
+  s.max = xs.front();
+  double m = 0.0;   // running mean
+  double m2 = 0.0;  // sum of squared deviations
+  std::size_t n = 0;
+  for (const double x : xs) {
+    ++n;
+    const double delta = x - m;
+    m += delta / static_cast<double>(n);
+    m2 += delta * (x - m);
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = m;
+  s.stddev = std::sqrt(m2 / static_cast<double>(n));
+  return s;
+}
+
+double geomean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (const double x : xs) log_sum += std::log(x);
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double rel_diff(double a, double b, double eps) noexcept {
+  const double scale = std::max({std::abs(a), std::abs(b), eps});
+  return std::abs(a - b) / scale;
+}
+
+}  // namespace raa

@@ -1,0 +1,32 @@
+#pragma once
+/// \file stats.hpp
+/// Small descriptive-statistics helpers shared by tests and benches.
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+
+namespace raa {
+
+/// Summary of a sample: count, mean, min, max, population stddev.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Compute a Summary over a span of doubles (single pass, Welford).
+Summary summarize(std::span<const double> xs) noexcept;
+
+/// Geometric mean; all inputs must be > 0. Returns 0 for an empty span.
+double geomean(std::span<const double> xs) noexcept;
+
+/// Arithmetic mean; returns 0 for an empty span.
+double mean(std::span<const double> xs) noexcept;
+
+/// Relative difference |a-b| / max(|a|,|b|, eps).
+double rel_diff(double a, double b, double eps = 1e-300) noexcept;
+
+}  // namespace raa

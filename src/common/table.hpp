@@ -1,0 +1,53 @@
+#pragma once
+/// \file table.hpp
+/// Console table printer used by the figure-regeneration benches so their
+/// output reads like the paper's tables.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace raa {
+
+/// A right-padded text table. Columns are sized to the widest cell.
+///
+///   Table t{"benchmark", "time x", "energy x", "noc x"};
+///   t.row("CG", 1.21, 1.25, 1.49);
+///   t.print(std::cout);
+class Table {
+ public:
+  /// Construct with header cells.
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row of preformatted cells. Missing cells print empty.
+  void row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic arguments with fixed precision.
+  template <typename... Args>
+  void row(const Args&... args) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(args));
+    (cells.push_back(format_cell(args)), ...);
+    row(std::move(cells));
+  }
+
+  /// Render with aligned columns and a rule under the header.
+  void print(std::ostream& os) const;
+
+  /// Number of data rows so far.
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Format a double with 3 decimals; integers/strings pass through.
+  static std::string format_cell(double v);
+  static std::string format_cell(int v);
+  static std::string format_cell(long v);
+  static std::string format_cell(unsigned long v);
+  static std::string format_cell(const char* v);
+  static std::string format_cell(const std::string& v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace raa

@@ -1,0 +1,322 @@
+#include "kernels/nas.hpp"
+
+namespace raa::kern {
+
+namespace {
+
+using mem::RefClass;
+using mem::Region;
+using mem::SystemConfig;
+using mem::Workload;
+
+/// Bytes per element for every stream (NAS data is double-heavy; using one
+/// width keeps per-core slices chunk-aligned).
+constexpr std::uint64_t kElem = 8;
+
+std::uint64_t chunk_align(const SystemConfig& cfg, std::uint64_t bytes) {
+  const std::uint64_t c = cfg.dma_chunk_bytes;
+  return (bytes + c - 1) / c * c;
+}
+
+/// Per-core seed: deterministic but distinct streams.
+std::uint64_t seed_for(std::uint64_t kernel_id, unsigned core) {
+  return kernel_id * 0x9e3779b97f4a7c15ULL + core + 1;
+}
+
+}  // namespace
+
+Workload make_cg(const SystemConfig& cfg, unsigned scale) {
+  RAA_CHECK(scale >= 1);
+  const unsigned P = cfg.tiles;
+  const std::uint64_t rows_core = 512ull * scale;
+  const std::uint64_t nnz_row = 12;
+  const std::uint64_t nnz_core = rows_core * nnz_row;
+  const std::uint64_t row_bytes = chunk_align(cfg, rows_core * kElem);
+  const std::uint64_t nnz_bytes = chunk_align(cfg, nnz_core * kElem);
+
+  Workload w;
+  w.name = "CG";
+  AddressSpace as{cfg.dma_chunk_bytes};
+  const Region& row_ptr = as.add(w, "row_ptr", P * row_bytes,
+                                 RefClass::strided);
+  const Region& col_idx = as.add(w, "col_idx", P * nnz_bytes,
+                                 RefClass::strided);
+  const Region& val = as.add(w, "val", P * nnz_bytes, RefClass::strided);
+  const Region& y = as.add(w, "y", P * row_bytes, RefClass::strided);
+  const Region& x = as.add(w, "x", P * row_bytes, RefClass::random_noalias);
+
+  for (unsigned c = 0; c < P; ++c) {
+    std::vector<Phase> phases;
+    // SpMV inner loop: walk the column indices and values of this core's
+    // row block while gathering x[col[j]] (random, read-only, no-alias).
+    phases.push_back(Phase{
+        .streams = {Stream{.region = &col_idx, .start = c * nnz_bytes,
+                           .stride = kElem},
+                    Stream{.region = &val, .start = c * nnz_bytes,
+                           .stride = kElem},
+                    Stream{.region = &x, .kind = StreamKind::random,
+                           .ref = RefClass::random_noalias,
+                           .elem_bytes = kElem}},
+        .iterations = nnz_core,
+        .gap_cycles = 2});
+    // Row epilogue: read row_ptr, write the accumulated y entry.
+    phases.push_back(Phase{
+        .streams = {Stream{.region = &row_ptr, .start = c * row_bytes,
+                           .stride = kElem},
+                    Stream{.region = &y, .store = true,
+                           .start = c * row_bytes, .stride = kElem}},
+        .iterations = rows_core,
+        .gap_cycles = 6});
+    w.programs.push_back(
+        std::make_unique<ScriptedProgram>(std::move(phases), seed_for(1, c)));
+  }
+  return w;
+}
+
+Workload make_ep(const SystemConfig& cfg, unsigned scale) {
+  RAA_CHECK(scale >= 1);
+  const unsigned P = cfg.tiles;
+  const std::uint64_t table_core = 2048;  // 2 KiB: cache-resident
+
+  Workload w;
+  w.name = "EP";
+  AddressSpace as{cfg.dma_chunk_bytes};
+  // Too small per core for profitable SPM tiling: the compiler leaves it to
+  // the caches (thread-private, hence no-alias).
+  const Region& table = as.add(w, "accum_table", P * table_core,
+                               RefClass::random_noalias);
+
+  for (unsigned c = 0; c < P; ++c) {
+    std::vector<Phase> phases;
+    // Gaussian-pair generation: long compute bursts, occasional histogram
+    // update into the private table.
+    phases.push_back(Phase{
+        .streams = {Stream{.region = &table, .kind = StreamKind::random_rmw,
+                           .ref = RefClass::random_noalias,
+                           .slice_bytes = table_core,
+                           .slice_base = c * table_core,
+                           .elem_bytes = kElem}},
+        .iterations = 3000ull * scale,
+        .gap_cycles = 40});
+    w.programs.push_back(
+        std::make_unique<ScriptedProgram>(std::move(phases), seed_for(2, c)));
+  }
+  return w;
+}
+
+Workload make_ft(const SystemConfig& cfg, unsigned scale) {
+  RAA_CHECK(scale >= 1);
+  const unsigned P = cfg.tiles;
+  const std::uint64_t n_core = 8192ull * scale;
+  const std::uint64_t part = chunk_align(cfg, n_core * kElem);
+
+  Workload w;
+  w.name = "FT";
+  AddressSpace as{cfg.dma_chunk_bytes};
+  const Region& a = as.add(w, "A", P * part, RefClass::strided);
+  const Region& b = as.add(w, "B", P * part, RefClass::strided);
+  const Region& cx = as.add(w, "C", P * part, RefClass::strided);
+
+  for (unsigned c = 0; c < P; ++c) {
+    std::vector<Phase> phases;
+    for (int iter = 0; iter < 2; ++iter) {
+      // 1-D FFT pass over the local partition.
+      phases.push_back(Phase{
+          .streams = {Stream{.region = &a, .start = c * part,
+                             .stride = kElem},
+                      Stream{.region = &b, .store = true, .start = c * part,
+                             .stride = kElem}},
+          .iterations = n_core,
+          .gap_cycles = 7});
+      // Global transpose: the scatter indices come from index arithmetic
+      // the compiler cannot disambiguate -> guarded accesses that may land
+      // in chunks other cores have SPM-mapped.
+      phases.push_back(Phase{
+          .streams = {Stream{.region = &b, .start = c * part,
+                             .stride = kElem},
+                      Stream{.region = &cx, .kind = StreamKind::random,
+                             .store = true,
+                             .ref = RefClass::random_unknown,
+                             .elem_bytes = kElem}},
+          .iterations = n_core,
+          .gap_cycles = 3});
+      // Second pass reads the (transposed) local partition back.
+      phases.push_back(Phase{
+          .streams = {Stream{.region = &cx, .start = c * part,
+                             .stride = kElem},
+                      Stream{.region = &a, .store = true, .start = c * part,
+                             .stride = kElem}},
+          .iterations = n_core,
+          .gap_cycles = 7});
+    }
+    w.programs.push_back(
+        std::make_unique<ScriptedProgram>(std::move(phases), seed_for(3, c)));
+  }
+  return w;
+}
+
+Workload make_is(const SystemConfig& cfg, unsigned scale) {
+  RAA_CHECK(scale >= 1);
+  const unsigned P = cfg.tiles;
+  const std::uint64_t keys_core = 16384ull * scale;
+  const std::uint64_t keys_bytes = chunk_align(cfg, keys_core * kElem);
+  const std::uint64_t buckets = 16384;
+  const std::uint64_t bucket_bytes = buckets * kElem;
+
+  Workload w;
+  w.name = "IS";
+  AddressSpace as{cfg.dma_chunk_bytes};
+  const Region& keys = as.add(w, "keys", P * keys_bytes, RefClass::strided);
+  const Region& hist = as.add(w, "histogram", bucket_bytes,
+                              RefClass::random_unknown);
+  const Region& rank = as.add(w, "rank_out", P * keys_bytes,
+                              RefClass::strided);
+
+  for (unsigned c = 0; c < P; ++c) {
+    std::vector<Phase> phases;
+    // Counting phase: stream the keys, bump the shared histogram.
+    phases.push_back(Phase{
+        .streams = {Stream{.region = &keys, .start = c * keys_bytes,
+                           .stride = kElem},
+                    Stream{.region = &hist, .kind = StreamKind::random_rmw,
+                           .ref = RefClass::random_unknown,
+                           .elem_bytes = kElem}},
+        .iterations = keys_core,
+        .gap_cycles = 3});
+    // Prefix-sum over this core's histogram slice; the compiler cannot
+    // prove it does not alias the scatter phase, so accesses stay guarded.
+    phases.push_back(Phase{
+        .streams = {Stream{.region = &hist,
+                           .ref = RefClass::random_unknown,
+                           .start = c * (bucket_bytes / P),
+                           .stride = kElem}},
+        .iterations = bucket_bytes / P / kElem,
+        .gap_cycles = 2});
+    // Ranking phase: re-stream keys, write ranks.
+    phases.push_back(Phase{
+        .streams = {Stream{.region = &keys, .start = c * keys_bytes,
+                           .stride = kElem},
+                    Stream{.region = &rank, .store = true,
+                           .start = c * keys_bytes, .stride = kElem}},
+        .iterations = keys_core,
+        .gap_cycles = 3});
+    w.programs.push_back(
+        std::make_unique<ScriptedProgram>(std::move(phases), seed_for(4, c)));
+  }
+  return w;
+}
+
+Workload make_mg(const SystemConfig& cfg, unsigned scale) {
+  RAA_CHECK(scale >= 1);
+  const unsigned P = cfg.tiles;
+  constexpr int kLevels = 4;
+
+  Workload w;
+  w.name = "MG";
+  AddressSpace as{cfg.dma_chunk_bytes};
+  std::uint64_t n_core[kLevels];
+  std::uint64_t part[kLevels];
+  const Region* u[kLevels];
+  const Region* r[kLevels];
+  for (int l = 0; l < kLevels; ++l) {
+    n_core[l] = (4096ull * scale) >> l;
+    part[l] = chunk_align(cfg, n_core[l] * kElem);
+    u[l] = &as.add(w, "u" + std::to_string(l), P * part[l],
+                   RefClass::strided);
+    r[l] = &as.add(w, "r" + std::to_string(l), P * part[l],
+                   RefClass::strided);
+  }
+
+  for (unsigned c = 0; c < P; ++c) {
+    std::vector<Phase> phases;
+    for (int cycle = 0; cycle < 2; ++cycle) {
+      // Down-sweep: smooth + restrict.
+      for (int l = 0; l + 1 < kLevels; ++l) {
+        phases.push_back(Phase{
+            .streams = {Stream{.region = u[l], .start = c * part[l],
+                               .stride = kElem},
+                        Stream{.region = r[l], .store = true,
+                               .start = c * part[l], .stride = kElem}},
+            .iterations = n_core[l],
+            .gap_cycles = 8});
+        phases.push_back(Phase{
+            .streams = {Stream{.region = r[l], .start = c * part[l],
+                               .stride = 2 * kElem},
+                        Stream{.region = u[l + 1], .store = true,
+                               .start = c * part[l + 1], .stride = kElem}},
+            .iterations = n_core[l + 1],
+            .gap_cycles = 7});
+      }
+      // Coarsest smooth.
+      phases.push_back(Phase{
+          .streams = {Stream{.region = u[kLevels - 1],
+                             .start = c * part[kLevels - 1],
+                             .stride = kElem},
+                      Stream{.region = r[kLevels - 1], .store = true,
+                             .start = c * part[kLevels - 1],
+                             .stride = kElem}},
+          .iterations = n_core[kLevels - 1],
+          .gap_cycles = 8});
+      // Up-sweep: prolongate.
+      for (int l = kLevels - 2; l >= 0; --l) {
+        phases.push_back(Phase{
+            .streams = {Stream{.region = u[l + 1],
+                               .start = c * part[l + 1], .stride = kElem},
+                        Stream{.region = u[l], .store = true,
+                               .start = c * part[l], .stride = 2 * kElem}},
+            .iterations = n_core[l + 1],
+            .gap_cycles = 7});
+      }
+    }
+    w.programs.push_back(
+        std::make_unique<ScriptedProgram>(std::move(phases), seed_for(5, c)));
+  }
+  return w;
+}
+
+Workload make_sp(const SystemConfig& cfg, unsigned scale) {
+  RAA_CHECK(scale >= 1);
+  const unsigned P = cfg.tiles;
+  const std::uint64_t n_core = 2048ull * scale;
+  const std::uint64_t part = chunk_align(cfg, n_core * kElem);
+
+  Workload w;
+  w.name = "SP";
+  AddressSpace as{cfg.dma_chunk_bytes};
+  const Region* lhs[4];
+  for (int k = 0; k < 4; ++k)
+    lhs[k] = &as.add(w, "lhs" + std::to_string(k), P * part,
+                     RefClass::strided);
+  const Region& rhs = as.add(w, "rhs", P * part, RefClass::strided);
+  const Region& out = as.add(w, "u_out", P * part, RefClass::strided);
+
+  for (unsigned c = 0; c < P; ++c) {
+    std::vector<Phase> phases;
+    for (int sweep = 0; sweep < 3; ++sweep) {
+      Phase ph;
+      for (int k = 0; k < 4; ++k)
+        ph.streams.push_back(Stream{.region = lhs[k], .start = c * part,
+                                    .stride = kElem});
+      ph.streams.push_back(Stream{.region = &rhs, .start = c * part,
+                                  .stride = kElem});
+      ph.streams.push_back(Stream{.region = &out, .store = true,
+                                  .start = c * part, .stride = kElem});
+      ph.iterations = n_core;
+      ph.gap_cycles = 6;
+      phases.push_back(std::move(ph));
+    }
+    w.programs.push_back(
+        std::make_unique<ScriptedProgram>(std::move(phases), seed_for(6, c)));
+  }
+  return w;
+}
+
+const std::vector<KernelFactory>& nas_kernels() {
+  static const std::vector<KernelFactory> kernels = {
+      {"CG", make_cg}, {"EP", make_ep}, {"FT", make_ft},
+      {"IS", make_is}, {"MG", make_mg}, {"SP", make_sp},
+  };
+  return kernels;
+}
+
+}  // namespace raa::kern

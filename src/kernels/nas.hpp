@@ -1,0 +1,54 @@
+#pragma once
+/// \file nas.hpp
+/// NAS-like workload generators for the Figure 1 hybrid-hierarchy study.
+///
+/// Each factory reproduces the access *structure* of the corresponding NAS
+/// kernel (the property Figure 1's per-benchmark variation hinges on),
+/// scaled to a configurable working-set multiplier:
+///
+///   CG — sparse matrix-vector products: strided row/col/val/y streams plus
+///        a random gather on the x vector (no-alias, cache-served);
+///   EP — embarrassingly parallel random-number crunching: long compute
+///        gaps, a tiny accumulation table (cache-resident);
+///   FT — FFT-style passes: strided streams with an all-to-all transpose
+///        whose scatter indices have unknown aliasing (guarded accesses
+///        into chunks other cores may have SPM-mapped);
+///   IS — integer sort: strided key stream + random read-modify-write
+///        histogram updates with unknown aliasing;
+///   MG — multigrid V-cycles: strided stencil sweeps over a hierarchy of
+///        levels (coarse levels fall back to the caches — too small for
+///        profitable SPM tiling);
+///   SP — pentadiagonal solver: wide multi-array strided sweeps (the
+///        SPM-friendliest of the set).
+///
+/// The per-core slices of every strided region are DMA-chunk aligned, as
+/// the paper's compiler tiling guarantees.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernels/program.hpp"
+#include "memsim/access.hpp"
+#include "memsim/config.hpp"
+
+namespace raa::kern {
+
+/// scale multiplies per-core working sets / iteration counts (1 = bench
+/// default; tests use smaller systems via cfg.tiles and scale).
+mem::Workload make_cg(const mem::SystemConfig& cfg, unsigned scale = 1);
+mem::Workload make_ep(const mem::SystemConfig& cfg, unsigned scale = 1);
+mem::Workload make_ft(const mem::SystemConfig& cfg, unsigned scale = 1);
+mem::Workload make_is(const mem::SystemConfig& cfg, unsigned scale = 1);
+mem::Workload make_mg(const mem::SystemConfig& cfg, unsigned scale = 1);
+mem::Workload make_sp(const mem::SystemConfig& cfg, unsigned scale = 1);
+
+/// All six, in the paper's order (CG, EP, FT, IS, MG, SP).
+struct KernelFactory {
+  std::string name;
+  std::function<mem::Workload(const mem::SystemConfig&, unsigned)> make;
+};
+const std::vector<KernelFactory>& nas_kernels();
+
+}  // namespace raa::kern

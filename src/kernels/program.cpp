@@ -1,0 +1,62 @@
+#include "kernels/program.hpp"
+
+namespace raa::kern {
+
+bool ScriptedProgram::next(mem::Access& out) {
+  if (pending_store_) {
+    // Second half of a read-modify-write pair: the store, back-to-back.
+    pending_store_ = false;
+    out = mem::Access{pending_addr_, true, pending_ref_, 0};
+    return true;
+  }
+
+  // Skip empty phases.
+  while (phase_ < phases_.size() &&
+         (phases_[phase_].iterations == 0 || phases_[phase_].streams.empty())) {
+    ++phase_;
+  }
+  if (phase_ >= phases_.size()) return false;
+
+  const Phase& ph = phases_[phase_];
+  const Stream& s = ph.streams[stream_];
+  RAA_CHECK(s.region != nullptr);
+
+  std::uint64_t addr = 0;
+  switch (s.kind) {
+    case StreamKind::linear:
+      addr = s.region->base + s.start + iter_ * s.stride;
+      RAA_CHECK_MSG(addr + 1 <= s.region->base + s.region->bytes,
+                    "linear stream runs past its region: " + s.region->name);
+      break;
+    case StreamKind::random:
+    case StreamKind::random_rmw: {
+      const std::uint64_t span =
+          s.slice_bytes != 0 ? s.slice_bytes : s.region->bytes;
+      const std::uint64_t elems = span / s.elem_bytes;
+      RAA_CHECK(elems > 0);
+      addr = s.region->base + s.slice_base +
+             rng_.below(elems) * s.elem_bytes;
+      break;
+    }
+  }
+
+  const bool is_store = s.kind == StreamKind::random_rmw ? false : s.store;
+  out = mem::Access{addr, is_store, s.ref, ph.gap_cycles};
+  if (s.kind == StreamKind::random_rmw) {
+    pending_store_ = true;
+    pending_addr_ = addr;
+    pending_ref_ = s.ref;
+  }
+
+  // Advance stream-major within the iteration, then the iteration counter.
+  if (++stream_ >= ph.streams.size()) {
+    stream_ = 0;
+    if (++iter_ >= ph.iterations) {
+      iter_ = 0;
+      ++phase_;
+    }
+  }
+  return true;
+}
+
+}  // namespace raa::kern

@@ -1,0 +1,76 @@
+#pragma once
+/// \file access.hpp
+/// The memory-access stream interface between workloads (kernels/) and the
+/// hierarchy simulator (system.hpp).
+///
+/// §2 of the paper: the compiler classifies every memory reference as
+///   * strided            — mapped to the SPMs through tiling software
+///                          caches (DMA-managed chunks);
+///   * random, no-alias   — served by the cache hierarchy;
+///   * random, unknown    — a *guarded* access: the hardware decides at
+///                          run time which memory holds the valid copy.
+/// The classification is an attribute of the reference (i.e. of the access
+/// stream), mirroring what the compiler derives statically.
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace raa::mem {
+
+/// Compiler reference class (see file comment).
+enum class RefClass : std::uint8_t {
+  strided,
+  random_noalias,
+  random_unknown,
+};
+
+const char* to_string(RefClass c) noexcept;
+
+/// One memory access issued by a core.
+struct Access {
+  std::uint64_t addr = 0;        ///< byte address
+  bool is_store = false;
+  RefClass ref = RefClass::random_noalias;
+  /// Compute cycles the core spends *before* this access (models the
+  /// non-memory work between two references).
+  std::uint32_t gap_cycles = 0;
+};
+
+/// A per-core access-stream generator. Streams are pulled lazily so multi-
+/// million-access workloads never materialise a trace.
+class CoreProgram {
+ public:
+  virtual ~CoreProgram() = default;
+  /// Produce the next access; false at end of stream.
+  virtual bool next(Access& out) = 0;
+};
+
+/// A declared data region with its compiler classification. The hybrid
+/// system maps `strided` regions to the SPM tiling software-cache; the
+/// guarded-access filter answers membership queries against the currently
+/// mapped chunks.
+struct Region {
+  std::string name;
+  std::uint64_t base = 0;
+  std::uint64_t bytes = 0;
+  RefClass ref = RefClass::strided;
+
+  bool contains(std::uint64_t addr) const noexcept {
+    return addr >= base && addr < base + bytes;
+  }
+};
+
+/// A complete multi-core workload: one program per core plus the region
+/// table (the "compiler output"). Regions live in a deque so that
+/// references handed out during construction stay valid as more regions
+/// are added.
+struct Workload {
+  std::string name;
+  std::deque<Region> regions;
+  std::vector<std::unique_ptr<CoreProgram>> programs;  ///< one per core
+};
+
+}  // namespace raa::mem

@@ -1,0 +1,176 @@
+#pragma once
+/// \file cache.hpp
+/// Set-associative write-back cache with true-LRU replacement. Used for the
+/// private L1-D caches and the shared L2 banks. The cache tracks per-line
+/// coherence state (MSI for L1s; L2 lines are either present or not, with
+/// sharer bookkeeping held by the directory) and a functional value so the
+/// protocol tests can assert that no access ever observes stale data.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace raa::mem {
+
+/// L1 MESI state. `exclusive` is clean-exclusive: granted on a load when no
+/// other cache holds the line, so a later store upgrades silently.
+enum class LineState : std::uint8_t { invalid, shared, exclusive, modified };
+
+/// Lookup/insert result describing a victim that had to be evicted.
+struct Victim {
+  std::uint64_t line_addr = 0;
+  bool dirty = false;  ///< was Modified (needs writeback)
+  LineState state = LineState::invalid;
+  std::uint64_t value = 0;
+};
+
+/// A set-associative cache keyed by line address (addresses are already
+/// line-aligned when they reach the cache).
+class Cache {
+ public:
+  /// `hashed_index` selects the set by hashing the line index instead of a
+  /// plain modulo — what LLC banks do to stay uniform under arbitrary
+  /// address interleavings (chunk-granular banking would otherwise alias
+  /// all of a bank's chunks into a small set window).
+  Cache(unsigned capacity_bytes, unsigned assoc, unsigned line_bytes,
+        bool hashed_index = false)
+      : assoc_(assoc), line_bytes_(line_bytes), hashed_index_(hashed_index) {
+    RAA_CHECK(assoc > 0 && line_bytes > 0);
+    RAA_CHECK(capacity_bytes % (assoc * line_bytes) == 0);
+    sets_ = capacity_bytes / (assoc * line_bytes);
+    ways_.assign(static_cast<std::size_t>(sets_) * assoc_, Way{});
+  }
+
+  unsigned sets() const noexcept { return sets_; }
+  unsigned assoc() const noexcept { return assoc_; }
+
+  /// True when the line is present (state != invalid).
+  bool contains(std::uint64_t line_addr) const {
+    return find(line_addr) != nullptr;
+  }
+
+  LineState state(std::uint64_t line_addr) const {
+    const Way* w = find(line_addr);
+    return w ? w->state : LineState::invalid;
+  }
+
+  /// Probe and, on hit, touch LRU. Returns the state (invalid on miss).
+  LineState access(std::uint64_t line_addr) {
+    Way* w = find_mut(line_addr);
+    if (w == nullptr) return LineState::invalid;
+    touch(w);
+    return w->state;
+  }
+
+  std::uint64_t value(std::uint64_t line_addr) const {
+    const Way* w = find(line_addr);
+    RAA_CHECK(w != nullptr);
+    return w->value;
+  }
+
+  void set_value(std::uint64_t line_addr, std::uint64_t value) {
+    Way* w = find_mut(line_addr);
+    RAA_CHECK(w != nullptr);
+    w->value = value;
+  }
+
+  void set_state(std::uint64_t line_addr, LineState s) {
+    Way* w = find_mut(line_addr);
+    RAA_CHECK(w != nullptr);
+    RAA_CHECK(s != LineState::invalid);  // use invalidate()
+    w->state = s;
+  }
+
+  /// Insert a line (must not be present); returns the evicted victim, if
+  /// any. The inserted line becomes MRU.
+  std::optional<Victim> insert(std::uint64_t line_addr, LineState s,
+                               std::uint64_t value) {
+    RAA_CHECK(s != LineState::invalid);
+    RAA_CHECK(find(line_addr) == nullptr);
+    Way* slot = nullptr;
+    Way* lru = nullptr;
+    const std::size_t base = set_base(line_addr);
+    for (unsigned i = 0; i < assoc_; ++i) {
+      Way& w = ways_[base + i];
+      if (w.state == LineState::invalid) {
+        slot = &w;
+        break;
+      }
+      if (lru == nullptr || w.lru < lru->lru) lru = &w;
+    }
+    std::optional<Victim> victim;
+    if (slot == nullptr) {
+      RAA_CHECK(lru != nullptr);
+      victim = Victim{lru->line_addr, lru->state == LineState::modified,
+                      lru->state, lru->value};
+      slot = lru;
+    }
+    slot->line_addr = line_addr;
+    slot->state = s;
+    slot->value = value;
+    touch(slot);
+    return victim;
+  }
+
+  /// Drop a line if present; returns its victim record (for writeback).
+  std::optional<Victim> invalidate(std::uint64_t line_addr) {
+    Way* w = find_mut(line_addr);
+    if (w == nullptr) return std::nullopt;
+    const Victim v{w->line_addr, w->state == LineState::modified, w->state,
+                   w->value};
+    w->state = LineState::invalid;
+    return v;
+  }
+
+  /// Number of resident lines (diagnostics).
+  std::size_t occupancy() const {
+    std::size_t n = 0;
+    for (const Way& w : ways_)
+      if (w.state != LineState::invalid) ++n;
+    return n;
+  }
+
+ private:
+  struct Way {
+    std::uint64_t line_addr = 0;
+    std::uint64_t value = 0;
+    std::uint64_t lru = 0;
+    LineState state = LineState::invalid;
+  };
+
+  std::size_t set_base(std::uint64_t line_addr) const {
+    std::uint64_t index = line_addr / line_bytes_;
+    if (hashed_index_) {
+      std::uint64_t h = index;  // SplitMix64 finalizer as index hash
+      h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+      index = h ^ (h >> 31);
+    }
+    return static_cast<std::size_t>(index % sets_) * assoc_;
+  }
+
+  const Way* find(std::uint64_t line_addr) const {
+    const std::size_t base = set_base(line_addr);
+    for (unsigned i = 0; i < assoc_; ++i) {
+      const Way& w = ways_[base + i];
+      if (w.state != LineState::invalid && w.line_addr == line_addr) return &w;
+    }
+    return nullptr;
+  }
+  Way* find_mut(std::uint64_t line_addr) {
+    return const_cast<Way*>(find(line_addr));
+  }
+
+  void touch(Way* w) { w->lru = ++clock_; }
+
+  unsigned sets_ = 0;
+  unsigned assoc_ = 0;
+  unsigned line_bytes_ = 0;
+  bool hashed_index_ = false;
+  std::uint64_t clock_ = 0;
+  std::vector<Way> ways_;
+};
+
+}  // namespace raa::mem

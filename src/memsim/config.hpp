@@ -1,0 +1,104 @@
+#pragma once
+/// \file config.hpp
+/// Configuration and cost constants of the tiled-manycore memory-hierarchy
+/// simulator (§2, Figure 1).
+///
+/// The modelled chip is the one the paper's hybrid-hierarchy study targets:
+/// 64 tiles on an 8x8 mesh, each tile with a core, a private L1-D and (in
+/// the hybrid configuration) a scratchpad slice; a distributed shared L2
+/// (one bank per tile, line-interleaved, home-node directory embedded);
+/// DRAM behind memory controllers at the mesh corners.
+///
+/// Latency constants are in core cycles and energy constants in picojoules;
+/// the orders of magnitude follow the usual CACTI/McPAT-class numbers for a
+/// ~22 nm manycore (SPM access cheaper than a tag+data associative cache
+/// lookup, DRAM two orders above SRAM, NoC energy per flit-hop). Only
+/// *relative* magnitudes matter for the reproduced speedups.
+
+#include <cstdint>
+
+namespace raa::mem {
+
+/// Chip-level configuration. Defaults reproduce the Figure 1 system.
+struct SystemConfig {
+  // --- topology ---
+  unsigned tiles = 64;   ///< cores; must equal mesh_x * mesh_y
+  unsigned mesh_x = 8;
+  unsigned mesh_y = 8;
+  unsigned mem_controllers = 4;  ///< placed at the mesh corners
+
+  // --- line / capacity ---
+  unsigned line_bytes = 64;
+  unsigned l1_bytes = 32 * 1024;
+  unsigned l1_assoc = 8;  ///< 8-way: NAS multi-stream sweeps need >= 6 ways
+  unsigned l2_bank_bytes = 512 * 1024;  ///< per tile
+  unsigned l2_assoc = 8;
+  unsigned spm_bytes = 64 * 1024;       ///< per tile (hybrid only)
+  unsigned dma_chunk_bytes = 4 * 1024;  ///< software-cache tile size
+
+  // --- latencies (cycles) ---
+  unsigned lat_l1_hit = 2;
+  unsigned lat_spm_hit = 1;
+  unsigned lat_l2_hit = 8;
+  unsigned lat_dir = 2;  ///< directory/filter consultation at home
+  /// Local SPM-filter lookup for guarded accesses. 1 cycle: the lookup
+  /// overlaps the L1 tag probe (as in the ISCA'15 design).
+  unsigned lat_filter = 1;
+  unsigned lat_dram = 120;
+  unsigned lat_router = 2;     ///< per hop
+  unsigned lat_link = 1;       ///< per hop
+  unsigned dram_cycles_per_line = 4;  ///< bandwidth term for DMA bursts
+
+  // --- energies (pJ) ---
+  double e_l1_hit = 20.0;
+  double e_l1_probe = 8.0;    ///< miss probe (tag check only)
+  double e_spm = 6.0;         ///< SPM access: no tag array, no associativity
+  double e_l2 = 60.0;
+  double e_dir = 8.0;
+  double e_filter = 2.0;
+  double e_dram_line = 1200.0;  ///< one 64B line
+  double e_flit_hop = 3.0;
+  /// Chip static power expressed as pJ per core-cycle (leakage of the full
+  /// tile incl. its slice of the uncore).
+  double e_static_per_tile_cycle = 2.0;
+
+  unsigned lines_per_chunk() const { return dma_chunk_bytes / line_bytes; }
+  /// Flits for one line payload: 1 header + line/8B payload flits.
+  unsigned flits_per_line() const { return 1 + line_bytes / 8; }
+};
+
+/// Which hierarchy the system models (the Figure 1 comparison).
+enum class HierarchyMode : std::uint8_t {
+  cache_only,  ///< baseline: everything through the cache hierarchy
+  hybrid,      ///< SPM+cache with the co-designed coherence protocol
+};
+
+/// Aggregated simulation results.
+struct Metrics {
+  double cycles = 0.0;  ///< makespan: max per-core clock
+  double noc_flit_hops = 0.0;
+
+  // Energy breakdown (pJ).
+  double e_l1 = 0.0, e_l2 = 0.0, e_spm = 0.0, e_dram = 0.0, e_noc = 0.0;
+  double e_dir = 0.0, e_static = 0.0;
+
+  // Event counters.
+  std::uint64_t accesses = 0;
+  std::uint64_t l1_hits = 0, l1_misses = 0;
+  std::uint64_t l2_hits = 0, l2_misses = 0;
+  std::uint64_t spm_hits = 0;
+  std::uint64_t dram_line_reads = 0, dram_line_writes = 0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t writebacks = 0;
+  std::uint64_t prefetch_fills = 0;
+  std::uint64_t dma_transfers = 0;
+  std::uint64_t guarded_lookups = 0;
+  std::uint64_t guarded_to_spm = 0;
+  std::uint64_t remote_spm_accesses = 0;
+
+  double energy_pj() const {
+    return e_l1 + e_l2 + e_spm + e_dram + e_noc + e_dir + e_static;
+  }
+};
+
+}  // namespace raa::mem

@@ -1,0 +1,85 @@
+#pragma once
+/// \file directory.hpp
+/// Full-map home-node directory for the cache side of the hierarchy, plus
+/// the SPM-mapping directory of the co-designed protocol (§2): "the hybrid
+/// memory hierarchy is extended with a set of directories and filters that
+/// track what part of the data set is mapped and not mapped to the SPMs."
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/check.hpp"
+
+namespace raa::mem {
+
+/// Cache-coherence directory entry for one line. `sharers` may contain
+/// stale bits after silent S-evictions (as in real sparse directories);
+/// spurious invalidations are harmless.
+struct DirEntry {
+  std::uint64_t sharers = 0;  ///< bitmask over tiles (<= 64 tiles)
+  int owner = -1;             ///< tile holding the line Modified, or -1
+};
+
+/// Full-map directory over all home banks (the home tile is implied by the
+/// line address, so a single map suffices).
+class Directory {
+ public:
+  DirEntry& entry(std::uint64_t line_addr) { return map_[line_addr]; }
+
+  bool has_entry(std::uint64_t line_addr) const {
+    return map_.contains(line_addr);
+  }
+
+  static std::uint64_t bit(unsigned tile) noexcept {
+    return std::uint64_t{1} << tile;
+  }
+
+  void add_sharer(std::uint64_t line_addr, unsigned tile) {
+    map_[line_addr].sharers |= bit(tile);
+  }
+  void remove_sharer(std::uint64_t line_addr, unsigned tile) {
+    map_[line_addr].sharers &= ~bit(tile);
+  }
+  void set_owner(std::uint64_t line_addr, int tile) {
+    map_[line_addr].owner = tile;
+  }
+
+  std::size_t entries() const noexcept { return map_.size(); }
+
+ private:
+  std::unordered_map<std::uint64_t, DirEntry> map_;
+};
+
+/// Where a line currently mapped to some SPM lives, and the bookkeeping
+/// needed to mark its chunk dirty on remote (guarded) stores.
+struct SpmMapping {
+  unsigned tile = 0;        ///< SPM slice holding the line
+  std::uint32_t chunk_tag = 0;  ///< id of the software-cache chunk
+};
+
+/// The SPM-mapping directory: line -> SPM location. The per-tile *filter*
+/// of the paper is an idealised membership test over this map (a real
+/// implementation distributes it; the traffic/latency of consulting it is
+/// charged by the system model, the *contents* are exact).
+class SpmDirectory {
+ public:
+  void map_line(std::uint64_t line_addr, unsigned tile,
+                std::uint32_t chunk_tag) {
+    map_[line_addr] = SpmMapping{tile, chunk_tag};
+  }
+
+  void unmap_line(std::uint64_t line_addr) { map_.erase(line_addr); }
+
+  /// nullptr when the line is not SPM-mapped.
+  const SpmMapping* lookup(std::uint64_t line_addr) const {
+    const auto it = map_.find(line_addr);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  std::size_t mapped_lines() const noexcept { return map_.size(); }
+
+ private:
+  std::unordered_map<std::uint64_t, SpmMapping> map_;
+};
+
+}  // namespace raa::mem

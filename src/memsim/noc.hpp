@@ -1,0 +1,69 @@
+#pragma once
+/// \file noc.hpp
+/// 2-D mesh network-on-chip model: XY routing distances, latency and
+/// traffic/energy accounting. The NoC is not contention-simulated; Figure 1
+/// compares *traffic volumes* (flit-hops), which this model counts exactly.
+
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "memsim/config.hpp"
+
+namespace raa::mem {
+
+/// Mesh geometry + accounting helpers. Stateless except for the config.
+class Noc {
+ public:
+  explicit Noc(const SystemConfig& cfg) : cfg_(cfg) {
+    RAA_CHECK(cfg.mesh_x * cfg.mesh_y == cfg.tiles);
+  }
+
+  unsigned x_of(unsigned tile) const noexcept { return tile % cfg_.mesh_x; }
+  unsigned y_of(unsigned tile) const noexcept { return tile / cfg_.mesh_x; }
+
+  /// Manhattan distance (XY routing hop count).
+  unsigned hops(unsigned from, unsigned to) const noexcept {
+    const int dx = static_cast<int>(x_of(from)) - static_cast<int>(x_of(to));
+    const int dy = static_cast<int>(y_of(from)) - static_cast<int>(y_of(to));
+    return static_cast<unsigned>((dx < 0 ? -dx : dx) + (dy < 0 ? -dy : dy));
+  }
+
+  /// One-way latency of a message of `flits` flits over `hops` hops
+  /// (wormhole: head latency + serialization).
+  unsigned latency(unsigned hop_count, unsigned flits) const noexcept {
+    if (hop_count == 0) return 0;
+    return hop_count * (cfg_.lat_router + cfg_.lat_link) + (flits - 1);
+  }
+
+  /// Traffic contribution (flit-hops) of the same message.
+  double traffic(unsigned hop_count, unsigned flits) const noexcept {
+    return static_cast<double>(hop_count) * static_cast<double>(flits);
+  }
+
+  /// Energy (pJ) of the same message.
+  double energy(unsigned hop_count, unsigned flits) const noexcept {
+    return traffic(hop_count, flits) * cfg_.e_flit_hop;
+  }
+
+  /// The memory controller tile closest to `tile` (MCs sit at the corners).
+  unsigned nearest_mc(unsigned tile) const noexcept {
+    const unsigned corners[4] = {
+        0, cfg_.mesh_x - 1, cfg_.tiles - cfg_.mesh_x, cfg_.tiles - 1};
+    unsigned best = corners[0];
+    unsigned best_h = hops(tile, best);
+    const unsigned n_mc = cfg_.mem_controllers < 4 ? cfg_.mem_controllers : 4;
+    for (unsigned i = 1; i < n_mc; ++i) {
+      const unsigned h = hops(tile, corners[i]);
+      if (h < best_h) {
+        best_h = h;
+        best = corners[i];
+      }
+    }
+    return best;
+  }
+
+ private:
+  SystemConfig cfg_;
+};
+
+}  // namespace raa::mem

@@ -1,0 +1,53 @@
+#pragma once
+/// \file spm.hpp
+/// Scratchpad tiling software-cache state (§2): the compiler transforms
+/// strided references to run through per-core, per-region DMA-managed
+/// chunks with double buffering. This header holds the chunk bookkeeping;
+/// the timing/energy of DMA transfers is charged by the system model.
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/check.hpp"
+
+namespace raa::mem {
+
+/// One (core, strided-region) software cache: which chunk is resident,
+/// whether it was written, and when its prefetch completes (double-buffer
+/// overlap model: the DMA for the next chunk is issued when the current one
+/// is entered; switching earlier than its completion stalls the core).
+struct SoftwareCacheState {
+  static constexpr std::uint64_t kNoChunk = ~std::uint64_t{0};
+
+  std::uint64_t current_chunk = kNoChunk;  ///< chunk index within region
+  bool dirty = false;
+  double prefetch_done_cycle = 0.0;
+  std::uint32_t chunk_tag = 0;  ///< unique id of the resident chunk
+};
+
+/// Per-tile SPM capacity accounting. Chunks are allocated double-buffered
+/// (2x chunk size per active stream) like the paper's tiling software
+/// caches; exceeding the SPM capacity is a configuration error.
+class SpmAllocator {
+ public:
+  SpmAllocator(unsigned spm_bytes, unsigned chunk_bytes)
+      : capacity_(spm_bytes), chunk_bytes_(chunk_bytes) {}
+
+  /// Reserve a double-buffered stream slot.
+  void reserve_stream() {
+    used_ += 2 * chunk_bytes_;
+    RAA_CHECK_MSG(used_ <= capacity_,
+                  "SPM capacity exceeded: too many strided streams for "
+                  "spm_bytes/dma_chunk_bytes");
+  }
+
+  unsigned used_bytes() const noexcept { return used_; }
+  unsigned capacity_bytes() const noexcept { return capacity_; }
+
+ private:
+  unsigned capacity_ = 0;
+  unsigned chunk_bytes_ = 0;
+  unsigned used_ = 0;
+};
+
+}  // namespace raa::mem

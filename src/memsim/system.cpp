@@ -1,0 +1,625 @@
+#include "memsim/system.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace raa::mem {
+
+const char* to_string(RefClass c) noexcept {
+  switch (c) {
+    case RefClass::strided: return "strided";
+    case RefClass::random_noalias: return "random_noalias";
+    case RefClass::random_unknown: return "random_unknown";
+  }
+  return "?";
+}
+
+System::System(const SystemConfig& config, HierarchyMode mode)
+    : cfg_(config), mode_(mode), noc_(config) {
+  RAA_CHECK(cfg_.tiles <= 64);  // directory sharer mask is a 64-bit word
+  l1_.reserve(cfg_.tiles);
+  l2_.reserve(cfg_.tiles);
+  for (unsigned t = 0; t < cfg_.tiles; ++t) {
+    l1_.emplace_back(cfg_.l1_bytes, cfg_.l1_assoc, cfg_.line_bytes);
+    // Hashed set index: uniform under the chunk-granular bank interleaving.
+    l2_.emplace_back(cfg_.l2_bank_bytes, cfg_.l2_assoc, cfg_.line_bytes,
+                     /*hashed_index=*/true);
+    spm_alloc_.emplace_back(cfg_.spm_bytes, cfg_.dma_chunk_bytes);
+  }
+  core_clock_.assign(cfg_.tiles, 0.0);
+  stream_trackers_.assign(cfg_.tiles, {});
+  tracker_rr_.assign(cfg_.tiles, 0);
+  prefetched_.assign(cfg_.tiles, {});
+}
+
+unsigned System::send(unsigned from, unsigned to, unsigned flits) {
+  const unsigned h = noc_.hops(from, to);
+  metrics_.noc_flit_hops += noc_.traffic(h, flits);
+  metrics_.e_noc += noc_.energy(h, flits);
+  return noc_.latency(h, flits);
+}
+
+std::uint64_t System::dram_value(std::uint64_t line) const {
+  const auto it = dram_.find(line);
+  return it == dram_.end() ? 0 : it->second;
+}
+
+void System::dram_write(std::uint64_t line, std::uint64_t value) {
+  dram_[line] = value;
+}
+
+void System::check_load_value(std::uint64_t line, std::uint64_t served) const {
+  const auto it = reference_.find(line);
+  const std::uint64_t expect = it == reference_.end() ? 0 : it->second;
+  RAA_CHECK_MSG(served == expect,
+                "coherence violation: load served stale data (line " +
+                    std::to_string(line) + ")");
+}
+
+void System::record_store(std::uint64_t line, std::uint64_t version) {
+  reference_[line] = version;
+}
+
+void System::l2_install(std::uint64_t line, std::uint64_t value, bool dirty) {
+  const unsigned home = home_of(line);
+  Cache& bank = l2_[home];
+  if (bank.contains(line)) {
+    bank.set_value(line, value);
+    if (dirty) bank.set_state(line, LineState::modified);
+    return;
+  }
+  const auto victim =
+      bank.insert(line, dirty ? LineState::modified : LineState::shared,
+                  value);
+  if (victim && victim->dirty) {
+    dram_write(victim->line_addr, victim->value);
+    ++metrics_.dram_line_writes;
+    metrics_.e_dram += cfg_.e_dram_line;
+    send(home, noc_.nearest_mc(home), cfg_.flits_per_line());
+  }
+}
+
+void System::l1_install(unsigned core, std::uint64_t line, LineState st,
+                        std::uint64_t value) {
+  const auto victim = l1_[core].insert(line, st, value);
+  if (!victim) return;
+  DirEntry& e = directory_.entry(victim->line_addr);
+  if (victim->dirty) {
+    // Write the modified victim back to its home L2 bank.
+    ++metrics_.writebacks;
+    send(core, home_of(victim->line_addr), cfg_.flits_per_line());
+    l2_install(victim->line_addr, victim->value, /*dirty=*/true);
+    if (e.owner == static_cast<int>(core)) e.owner = -1;
+  } else if (victim->state == LineState::exclusive) {
+    // Clean-exclusive eviction: the directory thinks we own the line, so a
+    // small eviction notice keeps it sound (no data payload).
+    send(core, home_of(victim->line_addr), 1);
+    if (e.owner == static_cast<int>(core)) e.owner = -1;
+  }
+  // Shared victims are dropped silently (no directory message), leaving a
+  // stale sharer bit behind — as in real sparse directories.
+}
+
+unsigned System::invalidate_sharers(std::uint64_t line, int except_core) {
+  DirEntry& e = directory_.entry(line);
+  const unsigned home = home_of(line);
+  unsigned worst = 0;
+  for (unsigned t = 0; t < cfg_.tiles; ++t) {
+    if (static_cast<int>(t) == except_core) continue;
+    if ((e.sharers & Directory::bit(t)) == 0) continue;
+    // Invalidation + ack round trip.
+    const unsigned rt = send(home, t, 1) + send(t, home, 1);
+    worst = std::max(worst, rt);
+    const auto dropped = l1_[t].invalidate(line);
+    if (dropped) {
+      ++metrics_.invalidations;
+      RAA_CHECK_MSG(!dropped->dirty,
+                    "protocol bug: invalidating a Modified sharer");
+    }
+  }
+  e.sharers = except_core >= 0 ? Directory::bit(
+                                     static_cast<unsigned>(except_core))
+                               : 0;
+  return worst;
+}
+
+unsigned System::fetch_line(unsigned core, std::uint64_t line,
+                            std::uint64_t& value, bool for_store) {
+  const unsigned home = home_of(line);
+  unsigned lat = send(core, home, 1) + cfg_.lat_dir;
+  metrics_.e_dir += cfg_.e_dir;
+  DirEntry& e = directory_.entry(line);
+  RAA_CHECK(e.owner != static_cast<int>(core));
+
+  if (e.owner >= 0) {
+    // Another L1 holds the line Modified or Exclusive: forward.
+    const auto owner = static_cast<unsigned>(e.owner);
+    const LineState owner_state = l1_[owner].state(line);
+    RAA_CHECK(owner_state == LineState::modified ||
+              owner_state == LineState::exclusive);
+    const bool was_dirty = owner_state == LineState::modified;
+    value = l1_[owner].value(line);
+    lat += send(home, owner, 1) + cfg_.lat_l1_hit +
+           send(owner, core, cfg_.flits_per_line());
+    metrics_.e_l1 += cfg_.e_l1_hit;
+    if (for_store) {
+      l1_[owner].invalidate(line);
+      ++metrics_.invalidations;
+      e.owner = static_cast<int>(core);
+      e.sharers = Directory::bit(core);
+    } else {
+      // Owner downgrades to Shared; dirty data is reflected to the home.
+      l1_[owner].set_state(line, LineState::shared);
+      if (was_dirty) {
+        send(owner, home, cfg_.flits_per_line());
+        l2_install(line, value, /*dirty=*/true);
+      }
+      e.owner = -1;
+      e.sharers |= Directory::bit(owner) | Directory::bit(core);
+    }
+    return lat;
+  }
+
+  if (l2_[home].access(line) != LineState::invalid) {
+    // L2 hit at home.
+    ++metrics_.l2_hits;
+    metrics_.e_l2 += cfg_.e_l2;
+    value = l2_[home].value(line);
+    lat += cfg_.lat_l2_hit + send(home, core, cfg_.flits_per_line());
+  } else {
+    // Fetch from DRAM through the nearest memory controller.
+    ++metrics_.l2_misses;
+    metrics_.e_l2 += cfg_.e_l2;  // tag probe
+    const unsigned mc = noc_.nearest_mc(home);
+    value = dram_value(line);
+    ++metrics_.dram_line_reads;
+    metrics_.e_dram += cfg_.e_dram_line;
+    lat += send(home, mc, 1) + cfg_.lat_dram +
+           send(mc, home, cfg_.flits_per_line()) +
+           send(home, core, cfg_.flits_per_line());
+    l2_install(line, value, /*dirty=*/false);
+  }
+
+  if (for_store) {
+    lat += invalidate_sharers(line, static_cast<int>(core));
+    e.owner = static_cast<int>(core);
+    e.sharers = Directory::bit(core);
+  } else if (e.sharers == 0) {
+    // No other copy anywhere: grant clean-exclusive (MESI E).
+    e.owner = static_cast<int>(core);
+    e.sharers = Directory::bit(core);
+    exclusive_grant_ = true;
+  } else {
+    e.sharers |= Directory::bit(core);
+  }
+  return lat;
+}
+
+unsigned System::upgrade_to_modified(unsigned core, std::uint64_t line) {
+  const unsigned home = home_of(line);
+  unsigned lat = send(core, home, 1) + cfg_.lat_dir;
+  metrics_.e_dir += cfg_.e_dir;
+  lat += invalidate_sharers(line, static_cast<int>(core));
+  lat += send(home, core, 1);  // upgrade ack
+  DirEntry& e = directory_.entry(line);
+  e.owner = static_cast<int>(core);
+  e.sharers = Directory::bit(core);
+  return lat;
+}
+
+unsigned System::cache_access(unsigned core, std::uint64_t line, bool store) {
+  unsigned lat = cfg_.lat_l1_hit;
+  const LineState st = l1_[core].access(line);
+  if (st != LineState::invalid) {
+    ++metrics_.l1_hits;
+    metrics_.e_l1 += cfg_.e_l1_hit;
+    if (store) {
+      if (st == LineState::shared) {
+        lat += upgrade_to_modified(core, line);
+        l1_[core].set_state(line, LineState::modified);
+      } else if (st == LineState::exclusive) {
+        // MESI silent upgrade.
+        l1_[core].set_state(line, LineState::modified);
+      }
+      const std::uint64_t v = fresh_version();
+      l1_[core].set_value(line, v);
+      record_store(line, v);
+      if (prefetched_[core].erase(line) > 0) {
+        prefetch(core, line + cfg_.line_bytes);
+      }
+    } else {
+      check_load_value(line, l1_[core].value(line));
+      if (prefetched_[core].erase(line) > 0) {
+        // First demand hit on a prefetched line: keep the stream rolling.
+        prefetch(core, line + cfg_.line_bytes);
+      }
+    }
+    return lat;
+  }
+
+  ++metrics_.l1_misses;
+  metrics_.e_l1 += cfg_.e_l1_probe;
+  std::uint64_t value = 0;
+  exclusive_grant_ = false;
+  lat += fetch_line(core, line, value, store);
+  if (store) {
+    const std::uint64_t v = fresh_version();
+    l1_install(core, line, LineState::modified, v);
+    record_store(line, v);
+  } else {
+    l1_install(core, line,
+               exclusive_grant_ ? LineState::exclusive : LineState::shared,
+               value);
+    check_load_value(line, value);
+  }
+
+  // Stream detection: a miss that continues a tracked sequential stream
+  // triggers a next-line prefetch (tagged prefetcher).
+  auto& trackers = stream_trackers_[core];
+  const std::uint64_t next = line + cfg_.line_bytes;
+  bool matched = false;
+  for (std::uint64_t& t : trackers) {
+    if (t == line) {
+      t = next;
+      matched = true;
+      break;
+    }
+  }
+  if (matched) {
+    prefetch(core, next);
+  } else {
+    trackers[tracker_rr_[core]] = next;
+    tracker_rr_[core] = (tracker_rr_[core] + 1) % trackers.size();
+  }
+  return lat;
+}
+
+void System::prefetch(unsigned core, std::uint64_t line) {
+  if (l1_[core].contains(line)) return;
+  if (mode_ == HierarchyMode::hybrid &&
+      spm_directory_.lookup(line) != nullptr)
+    return;  // mapped data is served by the SPM side
+  std::uint64_t value = 0;
+  exclusive_grant_ = false;
+  (void)fetch_line(core, line, value, /*for_store=*/false);  // latency hidden
+  l1_install(core, line,
+             exclusive_grant_ ? LineState::exclusive : LineState::shared,
+             value);
+  prefetched_[core].insert(line);
+  ++metrics_.prefetch_fills;
+}
+
+double System::dma_map_chunk(unsigned core, const Region& region,
+                             std::uint64_t chunk_index,
+                             std::uint32_t chunk_tag, bool fetch) {
+  const std::uint64_t chunk_base =
+      region.base + chunk_index * cfg_.dma_chunk_bytes;
+  const std::uint64_t chunk_end =
+      std::min(region.base + region.bytes, chunk_base + cfg_.dma_chunk_bytes);
+  const unsigned mc = noc_.nearest_mc(core);
+  const unsigned home = home_of(chunk_base);  // one home per chunk
+  unsigned lines = 0;
+  unsigned dram_lines = 0;
+  unsigned l2_lines = 0;
+
+  // One SPM-directory transaction covers the chunk.
+  metrics_.e_dir += cfg_.e_dir;
+  send(core, home, 1);
+
+  for (std::uint64_t line = chunk_base; line < chunk_end;
+       line += cfg_.line_bytes) {
+    ++lines;
+    const SpmMapping* prev = spm_directory_.lookup(line);
+    RAA_CHECK_MSG(prev == nullptr,
+                  "SPM map conflict: strided chunks of different cores "
+                  "overlap (kernel classification bug)");
+    DirEntry& e = directory_.entry(line);
+    std::uint64_t value = 0;
+    bool from_cache_side = false;
+
+    // DMA fills are L2-backed: take the line from the home bank when
+    // present. The L2 copy is *kept* (it cannot be read while the line is
+    // mapped — the filter redirects guarded accesses, and no-alias
+    // references never touch mapped data); a dirty unmap overwrites it.
+    if (fetch && l2_[home].access(line) != LineState::invalid) {
+      value = l2_[home].value(line);
+      from_cache_side = true;
+      ++l2_lines;
+      metrics_.e_l2 += cfg_.e_l2;
+    }
+    if (e.owner >= 0) {
+      // A Modified/Exclusive L1 copy supersedes everything; collect it,
+      // reflect it to the home bank, and invalidate the owner.
+      const auto owner = static_cast<unsigned>(e.owner);
+      value = l1_[owner].value(line);
+      from_cache_side = true;
+      l1_[owner].invalidate(line);
+      ++metrics_.invalidations;
+      send(home, owner, 1);
+      if (fetch) send(owner, core, cfg_.flits_per_line());
+      l2_install(line, value, /*dirty=*/true);
+      e.owner = -1;
+      e.sharers = 0;
+    } else if (e.sharers != 0) {
+      // Shared L1 copies would go stale behind SPM writes: invalidate now.
+      invalidate_sharers(line, -1);
+    }
+    if (fetch) {
+      if (!from_cache_side) {
+        value = dram_value(line);
+        ++metrics_.dram_line_reads;
+        ++dram_lines;
+        metrics_.e_dram += cfg_.e_dram_line;
+        // The fill allocates in the home L2 bank on the way (L2-backed
+        // DMA), so later re-maps of the same data stay on chip.
+        l2_install(line, value, /*dirty=*/false);
+        metrics_.e_l2 += cfg_.e_l2;
+      }
+      spm_values_[line] = value;
+      metrics_.e_spm += cfg_.e_spm;  // SPM fill write
+    }
+    // Write-allocated chunks: lines become valid in the SPM as they are
+    // written (spm_values_ presence is the per-line validity mask).
+    spm_directory_.map_line(line, core, chunk_tag);
+  }
+
+  // Bulk data legs: DMA moves whole bursts (one header per burst), which is
+  // where the protocol's NoC savings over per-line cache messages come from.
+  const unsigned payload = cfg_.line_bytes / 8;
+  if (dram_lines > 0) {
+    send(mc, home, dram_lines * payload + 1);
+    send(home, core, dram_lines * payload + 1);
+  }
+  if (l2_lines > 0) send(home, core, l2_lines * payload + 1);
+
+  ++metrics_.dma_transfers;
+  if (!fetch) {
+    // Write-allocate: only the directory transaction is on the path.
+    return noc_.latency(noc_.hops(core, home), 1) * 2.0 + cfg_.lat_dir;
+  }
+  // Pipelined DMA latency: request + access latency of the slowest source
+  // + per-line cadence + data head flight.
+  const unsigned src_lat = dram_lines > 0 ? cfg_.lat_dram : cfg_.lat_l2_hit;
+  const double lat =
+      noc_.latency(noc_.hops(core, mc), 1) + src_lat +
+      static_cast<double>(lines) * cfg_.dram_cycles_per_line +
+      noc_.latency(noc_.hops(mc, core), cfg_.flits_per_line());
+  return lat;
+}
+
+void System::dma_unmap_chunk(unsigned core, const Region& region,
+                             SoftwareCacheState& st) {
+  if (st.current_chunk == SoftwareCacheState::kNoChunk) return;
+  const std::uint64_t chunk_base =
+      region.base + st.current_chunk * cfg_.dma_chunk_bytes;
+  const std::uint64_t chunk_end =
+      std::min(region.base + region.bytes, chunk_base + cfg_.dma_chunk_bytes);
+  const bool dirty = st.dirty || dirty_tags_.contains(st.chunk_tag);
+  const unsigned home = home_of(chunk_base);
+
+  unsigned dirty_lines = 0;
+  for (std::uint64_t line = chunk_base; line < chunk_end;
+       line += cfg_.line_bytes) {
+    const auto vit = spm_values_.find(line);
+    if (dirty && vit != spm_values_.end()) {
+      // Write back the valid lines to the home L2 bank (L2-backed DMA);
+      // DRAM is updated lazily on L2 eviction like any other dirty line.
+      // Write-allocated chunks write back only the lines actually written.
+      metrics_.e_spm += cfg_.e_spm;  // SPM read for the writeback
+      l2_install(line, vit->second, /*dirty=*/true);
+      ++dirty_lines;
+    }
+    if (vit != spm_values_.end()) spm_values_.erase(vit);
+    spm_directory_.unmap_line(line);
+  }
+  if (dirty_lines > 0)
+    send(core, home, dirty_lines * (cfg_.line_bytes / 8) + 1);  // one burst
+  // SPM-directory update for the chunk.
+  metrics_.e_dir += cfg_.e_dir;
+  send(core, home, 1);
+  if (dirty) ++metrics_.writebacks;
+  dirty_tags_.erase(st.chunk_tag);
+  st.current_chunk = SoftwareCacheState::kNoChunk;
+  st.dirty = false;
+}
+
+unsigned System::spm_access(unsigned core, std::size_t region_idx,
+                            const Region& region, std::uint64_t addr,
+                            bool store) {
+  const StreamKey key{core, region_idx};
+  auto [it, inserted] = streams_.try_emplace(key);
+  SoftwareCacheState& st = it->second;
+  if (inserted) {
+    spm_alloc_[core].reserve_stream();
+    st.prefetch_done_cycle = -1.0;  // first touch: full DMA latency
+  }
+
+  const std::uint64_t chunk = (addr - region.base) / cfg_.dma_chunk_bytes;
+  unsigned lat = 0;
+  if (chunk != st.current_chunk) {
+    dma_unmap_chunk(core, region, st);
+    const double now = core_clock_[core];
+    // A store-triggered switch marks an output chunk: write-allocate, no
+    // DMA-in (the tiling software cache knows out() tiles are overwritten).
+    const double dma_lat = dma_map_chunk(core, region, chunk,
+                                         ++chunk_tag_counter_, !store);
+    double stall = 0.0;
+    if (st.prefetch_done_cycle < 0.0) {
+      stall = dma_lat;  // nothing prefetched yet
+    } else {
+      stall = std::max(0.0, st.prefetch_done_cycle - now);
+    }
+    // Double buffering: the DMA for the *next* chunk is kicked off now and
+    // overlaps with the compute on this chunk.
+    st.prefetch_done_cycle = now + stall + dma_lat;
+    st.current_chunk = chunk;
+    st.chunk_tag = chunk_tag_counter_;
+    st.dirty = false;
+    lat += static_cast<unsigned>(stall);
+  }
+
+  const std::uint64_t line = line_of(addr);
+  lat += cfg_.lat_spm_hit;
+  metrics_.e_spm += cfg_.e_spm;
+  ++metrics_.spm_hits;
+  if (store) {
+    const std::uint64_t v = fresh_version();
+    spm_values_[line] = v;
+    record_store(line, v);
+    st.dirty = true;
+  } else {
+    const auto vit = spm_values_.find(line);
+    RAA_CHECK(vit != spm_values_.end());
+    check_load_value(line, vit->second);
+  }
+  return lat;
+}
+
+unsigned System::guarded_access(unsigned core, std::uint64_t addr,
+                                bool store) {
+  const std::uint64_t line = line_of(addr);
+  unsigned lat = cfg_.lat_filter;
+  metrics_.e_dir += cfg_.e_filter;
+  ++metrics_.guarded_lookups;
+
+  const SpmMapping* m = spm_directory_.lookup(line);
+  if (m == nullptr) return lat + cache_access(core, line, store);
+
+  ++metrics_.guarded_to_spm;
+  if (store) {
+    if (m->tile != core) {
+      ++metrics_.remote_spm_accesses;
+      lat += send(core, m->tile, 1) + send(m->tile, core, 1);
+    }
+    lat += cfg_.lat_spm_hit;
+    metrics_.e_spm += cfg_.e_spm;
+    ++metrics_.spm_hits;
+    const std::uint64_t v = fresh_version();
+    spm_values_[line] = v;
+    record_store(line, v);
+    dirty_tags_.insert(m->chunk_tag);
+    return lat;
+  }
+
+  const auto vit = spm_values_.find(line);
+  if (vit != spm_values_.end()) {
+    if (m->tile != core) {
+      ++metrics_.remote_spm_accesses;
+      lat += send(core, m->tile, 1) +
+             send(m->tile, core, cfg_.flits_per_line());
+    }
+    lat += cfg_.lat_spm_hit;
+    metrics_.e_spm += cfg_.e_spm;
+    ++metrics_.spm_hits;
+    check_load_value(line, vit->second);
+    return lat;
+  }
+
+  // Mapped write-allocated chunk, line not yet written: the valid copy is
+  // still below (home L2 / DRAM). Served uncached so no stale L1 copy can
+  // form behind the upcoming SPM write.
+  const unsigned home = home_of(line);
+  lat += send(core, home, 1) + cfg_.lat_dir;
+  metrics_.e_dir += cfg_.e_dir;
+  std::uint64_t value = 0;
+  if (l2_[home].access(line) != LineState::invalid) {
+    ++metrics_.l2_hits;
+    metrics_.e_l2 += cfg_.e_l2;
+    value = l2_[home].value(line);
+    lat += cfg_.lat_l2_hit + send(home, core, cfg_.flits_per_line());
+  } else {
+    const unsigned mc = noc_.nearest_mc(home);
+    value = dram_value(line);
+    ++metrics_.dram_line_reads;
+    metrics_.e_dram += cfg_.e_dram_line;
+    lat += send(home, mc, 1) + cfg_.lat_dram +
+           send(mc, home, cfg_.flits_per_line()) +
+           send(home, core, cfg_.flits_per_line());
+    l2_install(line, value, /*dirty=*/false);
+  }
+  check_load_value(line, value);
+  return lat;
+}
+
+void System::flush_all_software_caches() {
+  for (auto& [key, st] : streams_) {
+    RAA_CHECK(workload_ != nullptr && key.region < workload_->regions.size());
+    dma_unmap_chunk(key.core, workload_->regions[key.region], st);
+  }
+}
+
+Metrics System::run(Workload& workload) {
+  RAA_CHECK_MSG(workload.programs.size() == cfg_.tiles,
+                "workload must provide one program per tile");
+  workload_ = &workload;
+  metrics_ = Metrics{};
+  core_clock_.assign(cfg_.tiles, 0.0);
+  streams_.clear();
+
+  // Cache region lookup per core: streams are strongly region-local.
+  std::vector<std::size_t> last_region(cfg_.tiles, 0);
+
+  // Advance the core with the smallest local clock (deterministic
+  // interleaving; ties resolved by core id).
+  using Slot = std::pair<double, unsigned>;
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<>> order;
+  for (unsigned c = 0; c < cfg_.tiles; ++c) order.emplace(0.0, c);
+
+  Access acc;
+  while (!order.empty()) {
+    const auto [clock, core] = order.top();
+    order.pop();
+    if (!workload.programs[core]->next(acc)) continue;  // core finished
+    ++metrics_.accesses;
+    core_clock_[core] = clock + acc.gap_cycles;
+
+    unsigned lat = 0;
+    const std::uint64_t line = line_of(acc.addr);
+    if (mode_ == HierarchyMode::hybrid) {
+      switch (acc.ref) {
+        case RefClass::strided: {
+          // Resolve the region (streams revisit the same region, so the
+          // memoised index almost always hits).
+          std::size_t r = last_region[core];
+          if (r >= workload.regions.size() ||
+              !workload.regions[r].contains(acc.addr)) {
+            r = 0;
+            while (r < workload.regions.size() &&
+                   !workload.regions[r].contains(acc.addr))
+              ++r;
+            RAA_CHECK_MSG(r < workload.regions.size(),
+                          "strided access outside any declared region");
+            last_region[core] = r;
+          }
+          lat = spm_access(core, r, workload.regions[r], acc.addr,
+                           acc.is_store);
+          break;
+        }
+        case RefClass::random_noalias:
+          // Compiler contract: no-alias references never touch SPM-mapped
+          // data. A violation would be a kernel classification bug.
+          RAA_CHECK(spm_directory_.lookup(line) == nullptr);
+          lat = cache_access(core, line, acc.is_store);
+          break;
+        case RefClass::random_unknown:
+          lat = guarded_access(core, acc.addr, acc.is_store);
+          break;
+      }
+    } else {
+      lat = cache_access(core, line, acc.is_store);
+    }
+
+    core_clock_[core] += lat;
+    order.emplace(core_clock_[core], core);
+  }
+
+  flush_all_software_caches();
+
+  metrics_.cycles = *std::max_element(core_clock_.begin(), core_clock_.end());
+  metrics_.e_static = metrics_.cycles * static_cast<double>(cfg_.tiles) *
+                      cfg_.e_static_per_tile_cycle;
+  workload_ = nullptr;
+  return metrics_;
+}
+
+}  // namespace raa::mem

@@ -1,0 +1,171 @@
+#pragma once
+/// \file system.hpp
+/// The tiled-manycore memory-hierarchy simulator (§2, Figure 1).
+///
+/// Trace-driven, functional + timing + energy. Each core consumes its
+/// access stream in program order, blocking on memory; cores interleave
+/// deterministically (the core with the smallest local clock advances
+/// next). Shared state — L2 banks, directory, SPM mappings — is updated
+/// atomically per access.
+///
+/// Two configurations:
+///  * cache_only: every access goes through L1 -> home L2 bank (+directory)
+///    -> DRAM with an MSI invalidation protocol;
+///  * hybrid: strided references run through DMA-managed SPM chunks,
+///    random/no-alias references through the caches, and random/unknown
+///    references are *guarded*: a filter decides at run time whether the
+///    valid copy lives in an SPM or in the cache hierarchy (the paper's
+///    co-designed coherence protocol).
+///
+/// The simulator keeps a functional value per line end-to-end (L1/L2/SPM/
+/// DRAM) and checks on every load that the value served equals the value
+/// of the last store in simulation order — i.e. that the protocol never
+/// serves stale data. This check is what the protocol unit tests lean on,
+/// and it stays enabled in benches (it would fail loudly on a protocol
+/// bug).
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "memsim/access.hpp"
+#include "memsim/cache.hpp"
+#include "memsim/config.hpp"
+#include "memsim/directory.hpp"
+#include "memsim/noc.hpp"
+#include "memsim/spm.hpp"
+
+namespace raa::mem {
+
+/// See file comment.
+class System {
+ public:
+  System(const SystemConfig& config, HierarchyMode mode);
+
+  /// Run a workload to completion and return the metrics. The workload's
+  /// programs are consumed. Requires programs.size() == config.tiles.
+  Metrics run(Workload& workload);
+
+  HierarchyMode mode() const noexcept { return mode_; }
+  const SystemConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct StreamKey {
+    unsigned core;
+    std::size_t region;
+    bool operator==(const StreamKey&) const = default;
+  };
+  struct StreamKeyHash {
+    std::size_t operator()(const StreamKey& k) const noexcept {
+      return (static_cast<std::size_t>(k.core) << 32) ^ k.region;
+    }
+  };
+
+  std::uint64_t line_of(std::uint64_t addr) const {
+    return addr / cfg_.line_bytes * cfg_.line_bytes;
+  }
+  /// Home L2 bank. Interleaved at DMA-chunk granularity so a chunk has a
+  /// single home: the SPM-directory transaction is one message and DMA
+  /// transfers are single bursts (per-line interleaving would shatter every
+  /// chunk across all banks).
+  unsigned home_of(std::uint64_t line_addr) const {
+    return static_cast<unsigned>((line_addr / cfg_.dma_chunk_bytes) %
+                                 cfg_.tiles);
+  }
+
+  /// Account one message (traffic + energy) and return its latency.
+  unsigned send(unsigned from, unsigned to, unsigned flits);
+
+  // --- value plumbing (functional coherence model) ---
+  std::uint64_t fresh_version() { return ++version_counter_; }
+  std::uint64_t dram_value(std::uint64_t line) const;
+  void dram_write(std::uint64_t line, std::uint64_t value);
+  void check_load_value(std::uint64_t line, std::uint64_t served) const;
+  void record_store(std::uint64_t line, std::uint64_t version);
+
+  // --- cache-path protocol actions (return latency in cycles) ---
+  unsigned cache_access(unsigned core, std::uint64_t line, bool store);
+  /// Tagged next-line stream prefetch into `core`'s L1 (latency hidden,
+  /// traffic and energy fully charged).
+  void prefetch(unsigned core, std::uint64_t line);
+  unsigned upgrade_to_modified(unsigned core, std::uint64_t line);
+  /// Fetch the line for `core`; fills `value` with the coherent data and
+  /// returns latency. Handles owner forwarding / L2 / DRAM.
+  unsigned fetch_line(unsigned core, std::uint64_t line,
+                      std::uint64_t& value, bool for_store);
+  void l1_install(unsigned core, std::uint64_t line, LineState st,
+                  std::uint64_t value);
+  void l2_install(std::uint64_t line, std::uint64_t value, bool dirty);
+  /// Invalidate every L1 copy except `except_core` (-1: all); returns the
+  /// latency of the farthest invalidation round trip from the home.
+  unsigned invalidate_sharers(std::uint64_t line, int except_core);
+
+  // --- SPM path ---
+  unsigned spm_access(unsigned core, std::size_t region_idx,
+                      const Region& region, std::uint64_t addr, bool store);
+  /// Map a chunk into `core`'s SPM slice. With `fetch`, DMA-in the valid
+  /// copies (invalidating cached ones); without (write-allocated output
+  /// chunk) only the coherence actions run and lines become valid in the
+  /// SPM as they are written. Returns the DMA latency (before overlap).
+  double dma_map_chunk(unsigned core, const Region& region,
+                       std::uint64_t chunk_index, std::uint32_t chunk_tag,
+                       bool fetch);
+  void dma_unmap_chunk(unsigned core, const Region& region,
+                       SoftwareCacheState& st);
+  unsigned guarded_access(unsigned core, std::uint64_t addr, bool store);
+
+  void flush_all_software_caches();
+
+  SystemConfig cfg_;
+  HierarchyMode mode_;
+  Noc noc_;
+
+  std::vector<Cache> l1_;  ///< one per tile
+  /// One bank per tile. L2 line state encodes cleanliness: shared = clean,
+  /// modified = dirty w.r.t. DRAM.
+  std::vector<Cache> l2_;
+  Directory directory_;
+  SpmDirectory spm_directory_;
+  std::unordered_map<std::uint64_t, std::uint64_t> spm_values_;
+  std::unordered_map<std::uint64_t, std::uint64_t> dram_;
+  std::unordered_map<std::uint64_t, std::uint64_t> reference_;  ///< oracle
+
+  std::unordered_map<StreamKey, SoftwareCacheState, StreamKeyHash> streams_;
+  /// Chunks dirtied by *remote* guarded stores (keyed by chunk tag).
+  std::unordered_set<std::uint32_t> dirty_tags_;
+  std::vector<SpmAllocator> spm_alloc_;
+  const Workload* workload_ = nullptr;
+
+  std::vector<double> core_clock_;
+  std::uint64_t version_counter_ = 0;
+  std::uint32_t chunk_tag_counter_ = 0;
+  Metrics metrics_;
+
+  // Stream-prefetcher state (per core): 8 sequential-stream trackers plus
+  // the set of prefetched-but-not-yet-used lines (the "tag" bit).
+  std::vector<std::array<std::uint64_t, 8>> stream_trackers_;
+  std::vector<std::size_t> tracker_rr_;
+  std::vector<std::unordered_set<std::uint64_t>> prefetched_;
+  /// Set by fetch_line when the last load fill was granted Exclusive.
+  bool exclusive_grant_ = false;
+};
+
+/// Convenience: run `make_workload()` under both configurations and return
+/// {cache_only, hybrid} metrics. Used by tests and the Figure 1 bench.
+struct ComparisonResult {
+  Metrics cache_only;
+  Metrics hybrid;
+
+  double time_speedup() const { return cache_only.cycles / hybrid.cycles; }
+  double energy_speedup() const {
+    return cache_only.energy_pj() / hybrid.energy_pj();
+  }
+  double noc_speedup() const {
+    return cache_only.noc_flit_hops / hybrid.noc_flit_hops;
+  }
+};
+
+}  // namespace raa::mem

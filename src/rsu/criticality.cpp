@@ -1,0 +1,42 @@
+#include "rsu/criticality.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace raa::rsu {
+
+std::vector<bool> critical_tasks(const tdg::Graph& graph,
+                                 double slack_fraction, bool include_hints) {
+  RAA_CHECK(slack_fraction >= 0.0 && slack_fraction < 1.0);
+  std::vector<bool> mask(graph.node_count(), false);
+  if (graph.node_count() == 0) return mask;
+
+  const std::vector<double> top = graph.top_levels();
+  const std::vector<double> bottom = graph.bottom_levels();
+  const double cp = graph.critical_path_length();
+  const double eps = 1e-9 * std::max(1.0, cp);
+  const double threshold = (1.0 - slack_fraction) * cp - eps;
+
+  for (std::size_t v = 0; v < mask.size(); ++v) {
+    const bool on_path = top[v] + bottom[v] >= threshold;
+    const bool hinted =
+        include_hints &&
+        graph.node(static_cast<tdg::NodeId>(v)).critical_hint;
+    mask[v] = on_path || hinted;
+  }
+  return mask;
+}
+
+double critical_work_fraction(const tdg::Graph& graph,
+                              const std::vector<bool>& mask) {
+  RAA_CHECK(mask.size() == graph.node_count());
+  const double total = graph.total_cost();
+  if (total <= 0.0) return 0.0;
+  double crit = 0.0;
+  for (std::size_t v = 0; v < mask.size(); ++v)
+    if (mask[v]) crit += graph.node(static_cast<tdg::NodeId>(v)).cost;
+  return crit / total;
+}
+
+}  // namespace raa::rsu

@@ -1,0 +1,30 @@
+#pragma once
+/// \file criticality.hpp
+/// Task criticality analysis (§3.1): "a task is considered critical if it
+/// belongs to the critical path of the Task Dependency Graph."
+///
+/// Two sources are combined:
+///   * graph analysis — nodes on (or within a slack band of) a longest path;
+///   * programmer hints — the `critical_hint` attribute on graph nodes
+///     ("task criticality can be simply annotated by the programmer").
+
+#include <vector>
+
+#include "runtime/graph.hpp"
+
+namespace raa::rsu {
+
+/// Per-node criticality mask. A node is critical when
+///   top_level + bottom_level >= (1 - slack_fraction) * critical_path_length
+/// or when its critical_hint is set. slack_fraction = 0 marks exactly the
+/// longest-path nodes; a small slack (e.g. 0.05) also boosts near-critical
+/// tasks, which is what the CATS family of schedulers does in practice.
+std::vector<bool> critical_tasks(const tdg::Graph& graph,
+                                 double slack_fraction = 0.0,
+                                 bool include_hints = true);
+
+/// Fraction of total work that is critical under the mask (diagnostics).
+double critical_work_fraction(const tdg::Graph& graph,
+                              const std::vector<bool>& mask);
+
+}  // namespace raa::rsu

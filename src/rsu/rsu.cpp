@@ -1,0 +1,123 @@
+#include "rsu/rsu.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace raa::rsu {
+
+void CriticalityGovernor::prepare(const tdg::Graph& graph,
+                                  const sim::MachineConfig& machine) {
+  machine_ = &machine;
+  critical_ = critical_tasks(graph, options_.slack_fraction);
+  turbo_ = machine.dvfs.highest();
+  nominal_ = machine.dvfs.nominal();
+  const auto& pts = machine.dvfs.points();
+  if (options_.low_point_index >= 0) {
+    const auto idx = static_cast<std::size_t>(options_.low_point_index);
+    RAA_CHECK(idx < pts.size());
+    low_ = pts[idx];
+  } else {
+    // One step below nominal when available.
+    low_ = pts.size() >= 3 ? pts[pts.size() - 3] : pts.front();
+  }
+  core_op_.assign(machine.cores, nominal_);
+  task_power_w_.assign(critical_.size(), 0.0);
+  power_in_use_w_ = 0.0;
+  lock_free_at_ns_ = 0.0;
+  reconfigs_ = 0;
+  stall_ns_ = 0.0;
+  budget_denials_ = 0;
+}
+
+sim::FreqDecision CriticalityGovernor::on_task_start(tdg::NodeId task,
+                                                     unsigned core,
+                                                     double now_ns) {
+  RAA_CHECK(machine_ != nullptr && task < critical_.size());
+  sim::OperatingPoint want = critical_[task] ? turbo_ : low_;
+
+  if (options_.enforce_budget) {
+    const double budget = machine_->effective_budget_w();
+    // Greedy degrade: turbo -> nominal -> low -> lowest until it fits.
+    const sim::OperatingPoint candidates[] = {want, nominal_, low_,
+                                              machine_->dvfs.lowest()};
+    bool granted = false;
+    for (const auto& cand : candidates) {
+      if (cand.freq_ghz > want.freq_ghz) continue;  // never upgrade
+      if (power_in_use_w_ + machine_->power.busy_w(cand) <= budget + 1e-9) {
+        if (!(cand == want)) ++budget_denials_;
+        want = cand;
+        granted = true;
+        break;
+      }
+    }
+    if (!granted) {
+      // Budget fully committed: run at the lowest point anyway (a real chip
+      // would throttle; we account the overshoot as lowest-point power).
+      ++budget_denials_;
+      want = machine_->dvfs.lowest();
+    }
+  }
+
+  double stall = 0.0;
+  if (!(core_op_[core] == want)) {
+    ++reconfigs_;
+    if (options_.reconfig.serialized) {
+      // The software path takes a global lock: requests queue behind each
+      // other, so the effective stall grows with the reconfiguration rate —
+      // i.e. with the number of cores.
+      const double grant_at = std::max(now_ns, lock_free_at_ns_);
+      lock_free_at_ns_ = grant_at + options_.reconfig.latency_ns;
+      stall = (grant_at - now_ns) + options_.reconfig.latency_ns;
+    } else {
+      stall = options_.reconfig.latency_ns;
+    }
+    core_op_[core] = want;
+    stall_ns_ += stall;
+  }
+
+  task_power_w_[task] = machine_->power.busy_w(want);
+  power_in_use_w_ += task_power_w_[task];
+  return {want, stall};
+}
+
+void CriticalityGovernor::on_task_end(tdg::NodeId task, unsigned /*core*/,
+                                      double /*now_ns*/) {
+  RAA_CHECK(task < task_power_w_.size());
+  power_in_use_w_ -= task_power_w_[task];
+  task_power_w_[task] = 0.0;
+  if (power_in_use_w_ < 0.0) power_in_use_w_ = 0.0;  // float dust
+}
+
+double CriticalityStudyResult::perf_improvement_sw() const {
+  return fifo_nominal.makespan_ns / cats_sw.makespan_ns - 1.0;
+}
+double CriticalityStudyResult::perf_improvement_rsu() const {
+  return fifo_nominal.makespan_ns / cats_rsu.makespan_ns - 1.0;
+}
+double CriticalityStudyResult::edp_improvement_sw() const {
+  return fifo_nominal.edp() / cats_sw.edp() - 1.0;
+}
+double CriticalityStudyResult::edp_improvement_rsu() const {
+  return fifo_nominal.edp() / cats_rsu.edp() - 1.0;
+}
+
+CriticalityStudyResult run_criticality_study(const tdg::Graph& graph,
+                                             const sim::MachineConfig& machine,
+                                             double slack_fraction) {
+  CriticalityStudyResult out;
+  out.fifo_nominal = sim::replay(graph, machine, sim::priority_fifo());
+
+  CriticalityGovernor sw{{.slack_fraction = slack_fraction,
+                          .reconfig = software_dvfs()}};
+  out.cats_sw =
+      sim::replay(graph, machine, sim::priority_bottom_level(), &sw);
+
+  CriticalityGovernor hw{{.slack_fraction = slack_fraction,
+                          .reconfig = rsu_hardware()}};
+  out.cats_rsu =
+      sim::replay(graph, machine, sim::priority_bottom_level(), &hw);
+  return out;
+}
+
+}  // namespace raa::rsu

@@ -1,0 +1,108 @@
+#pragma once
+/// \file rsu.hpp
+/// The Runtime Support Unit (Figure 2) and its software-only counterpart.
+///
+/// Both governors implement the same *policy* — critical tasks run at turbo,
+/// non-critical tasks at an energy-efficient point, subject to the chip
+/// power budget ("based on this information and the available power budget,
+/// the RSU decides the frequency of each core") — but differ in the
+/// *mechanism* cost:
+///
+///   * SW-only DVFS: every frequency change goes through a global, serialised
+///     software path (driver/lock), costing microseconds that queue up as
+///     core counts grow — "the cost of reconfiguring the hardware with a
+///     software-only solution rises with the number of cores due to locks
+///     contention and reconfiguration overhead";
+///   * RSU: a small hardware unit performs the change in ~tens of
+///     nanoseconds with no serialisation — the "criticality-aware turbo
+///     boost mechanism" with "negligible hardware overhead".
+
+#include <cstdint>
+#include <vector>
+
+#include "rsu/criticality.hpp"
+#include "simcore/tdg_sim.hpp"
+
+namespace raa::rsu {
+
+/// Reconfiguration mechanism parameters.
+struct ReconfigModel {
+  double latency_ns = 100.0;  ///< one frequency change
+  bool serialized = false;    ///< true: changes queue on a global lock
+};
+
+/// Canonical mechanisms.
+inline ReconfigModel rsu_hardware() { return {.latency_ns = 100.0,
+                                              .serialized = false}; }
+inline ReconfigModel software_dvfs() { return {.latency_ns = 5000.0,
+                                               .serialized = true}; }
+
+/// Criticality-aware DVFS governor (works with sim::replay).
+///
+/// Frequency policy: critical → highest point, non-critical → `low_point`
+/// (default: one step below nominal — slow enough to save energy, fast
+/// enough not to stretch the makespan). Grants are checked against the
+/// machine power budget; when boosting does not fit, the task falls back to
+/// nominal, and when even nominal does not fit, to the lowest point.
+class CriticalityGovernor final : public sim::FrequencyGovernor {
+ public:
+  struct Options {
+    double slack_fraction = 0.05;
+    ReconfigModel reconfig = rsu_hardware();
+    /// Index into the DVFS table for non-critical tasks; -1 = one below
+    /// nominal.
+    int low_point_index = -1;
+    bool enforce_budget = true;
+  };
+
+  CriticalityGovernor() : CriticalityGovernor(Options()) {}
+  explicit CriticalityGovernor(Options options) : options_(options) {}
+
+  void prepare(const tdg::Graph& graph,
+               const sim::MachineConfig& machine) override;
+  sim::FreqDecision on_task_start(tdg::NodeId task, unsigned core,
+                                  double now_ns) override;
+  void on_task_end(tdg::NodeId task, unsigned core, double now_ns) override;
+
+  /// Diagnostics.
+  std::uint64_t reconfig_count() const noexcept { return reconfigs_; }
+  double reconfig_stall_ns() const noexcept { return stall_ns_; }
+  std::uint64_t budget_denials() const noexcept { return budget_denials_; }
+  const std::vector<bool>& critical_mask() const noexcept { return critical_; }
+
+ private:
+  Options options_;
+  const sim::MachineConfig* machine_ = nullptr;
+  std::vector<bool> critical_;
+  sim::OperatingPoint turbo_{};
+  sim::OperatingPoint low_{};
+  sim::OperatingPoint nominal_{};
+
+  std::vector<sim::OperatingPoint> core_op_;
+  std::vector<double> task_power_w_;  ///< granted power per running task
+  double power_in_use_w_ = 0.0;
+  double lock_free_at_ns_ = 0.0;  ///< software path serialisation point
+
+  std::uint64_t reconfigs_ = 0;
+  double stall_ns_ = 0.0;
+  std::uint64_t budget_denials_ = 0;
+};
+
+/// Outcome of one §3.1 comparison run.
+struct CriticalityStudyResult {
+  sim::ReplayResult fifo_nominal;   ///< baseline: static scheduling
+  sim::ReplayResult cats_sw;        ///< criticality DVFS, software mechanism
+  sim::ReplayResult cats_rsu;       ///< criticality DVFS, RSU mechanism
+
+  double perf_improvement_sw() const;
+  double perf_improvement_rsu() const;
+  double edp_improvement_sw() const;
+  double edp_improvement_rsu() const;
+};
+
+/// Run the three configurations on one graph/machine.
+CriticalityStudyResult run_criticality_study(
+    const tdg::Graph& graph, const sim::MachineConfig& machine,
+    double slack_fraction = 0.05);
+
+}  // namespace raa::rsu

@@ -1,0 +1,105 @@
+#include "runtime/dependences.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace raa::rt {
+
+void DependenceRegistry::add_unique(std::vector<TaskId>& v, TaskId id) {
+  if (id == kNoTask) return;
+  if (std::find(v.begin(), v.end(), id) == v.end()) v.push_back(id);
+}
+
+void DependenceRegistry::split_at(std::uintptr_t at) {
+  auto it = segments_.upper_bound(at);
+  if (it == segments_.begin()) return;
+  --it;
+  const std::uintptr_t seg_lo = it->first;
+  Segment& seg = it->second;
+  if (seg_lo < at && at < seg.end) {
+    Segment right = seg;  // copies writer + readers
+    seg.end = at;
+    segments_.emplace(at, std::move(right));
+  }
+}
+
+void DependenceRegistry::apply(TaskId task, std::uintptr_t lo,
+                               std::uintptr_t hi, AccessMode mode,
+                               std::vector<TaskId>& preds) {
+  RAA_CHECK(lo < hi);
+  split_at(lo);
+  split_at(hi);
+
+  // Walk existing segments overlapping [lo, hi); fill gaps with fresh
+  // segments so the new access is recorded everywhere.
+  std::uintptr_t cursor = lo;
+  auto it = segments_.lower_bound(lo);
+  const bool reads = mode != AccessMode::write;
+  const bool writes = mode != AccessMode::read;
+
+  const auto touch = [&](Segment& seg) {
+    if (reads) {
+      add_unique(preds, seg.writer);  // RAW
+    }
+    if (writes) {
+      add_unique(preds, seg.writer);              // WAW
+      for (const TaskId r : seg.readers)          // WAR
+        add_unique(preds, r);
+      seg.writer = task;
+      seg.readers.clear();
+    } else {
+      add_unique(seg.readers, task);
+    }
+  };
+
+  while (cursor < hi) {
+    if (it == segments_.end() || it->first >= hi) {
+      // Tail gap [cursor, hi).
+      Segment fresh;
+      fresh.end = hi;
+      if (writes) {
+        fresh.writer = task;
+      } else {
+        fresh.writer = kNoTask;
+        fresh.readers.push_back(task);
+      }
+      it = segments_.emplace(cursor, std::move(fresh)).first;
+      ++it;
+      cursor = hi;
+      break;
+    }
+    if (it->first > cursor) {
+      // Gap [cursor, it->first).
+      Segment fresh;
+      fresh.end = it->first;
+      if (writes) {
+        fresh.writer = task;
+      } else {
+        fresh.readers.push_back(task);
+      }
+      segments_.emplace(cursor, std::move(fresh));
+      cursor = it->first;
+      continue;
+    }
+    // Segment starting exactly at cursor; boundaries guarantee it ends
+    // within [lo, hi].
+    RAA_CHECK(it->second.end <= hi);
+    touch(it->second);
+    cursor = it->second.end;
+    ++it;
+  }
+
+  // A task's own earlier access must not appear as its predecessor.
+  std::erase(preds, task);
+}
+
+void DependenceRegistry::register_task(TaskId task, std::span<const Dep> deps,
+                                       std::vector<TaskId>& preds) {
+  for (const Dep& d : deps) {
+    if (d.bytes == 0) continue;
+    apply(task, d.base, d.base + d.bytes, d.mode, preds);
+  }
+}
+
+}  // namespace raa::rt

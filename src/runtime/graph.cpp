@@ -1,0 +1,263 @@
+#include "runtime/graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace raa::tdg {
+
+NodeId Graph::add_node(double cost, std::string label, bool critical_hint) {
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(Node{id, cost, critical_hint, std::move(label)});
+  succ_.emplace_back();
+  pred_.emplace_back();
+  return id;
+}
+
+void Graph::add_edge(NodeId from, NodeId to) {
+  RAA_CHECK(from < nodes_.size() && to < nodes_.size());
+  RAA_CHECK_MSG(from != to, "self-dependence");
+  succ_[from].push_back(to);
+  pred_[to].push_back(from);
+  ++edge_count_;
+}
+
+double Graph::total_cost() const noexcept {
+  double sum = 0.0;
+  for (const Node& n : nodes_) sum += n.cost;
+  return sum;
+}
+
+std::vector<NodeId> Graph::topo_order() const {
+  std::vector<std::uint32_t> in_deg(nodes_.size());
+  for (std::size_t v = 0; v < nodes_.size(); ++v)
+    in_deg[v] = static_cast<std::uint32_t>(pred_[v].size());
+
+  std::deque<NodeId> frontier;
+  for (std::size_t v = 0; v < nodes_.size(); ++v)
+    if (in_deg[v] == 0) frontier.push_back(static_cast<NodeId>(v));
+
+  std::vector<NodeId> order;
+  order.reserve(nodes_.size());
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop_front();
+    order.push_back(v);
+    for (const NodeId s : succ_[v])
+      if (--in_deg[s] == 0) frontier.push_back(s);
+  }
+  if (order.size() != nodes_.size())
+    throw std::logic_error("tdg::Graph::topo_order: graph has a cycle");
+  return order;
+}
+
+std::vector<double> Graph::bottom_levels() const {
+  const std::vector<NodeId> order = topo_order();
+  std::vector<double> b(nodes_.size(), 0.0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId v = *it;
+    double best = 0.0;
+    for (const NodeId s : succ_[v]) best = std::max(best, b[s]);
+    b[v] = nodes_[v].cost + best;
+  }
+  return b;
+}
+
+std::vector<double> Graph::top_levels() const {
+  const std::vector<NodeId> order = topo_order();
+  std::vector<double> t(nodes_.size(), 0.0);
+  for (const NodeId v : order) {
+    double best = 0.0;
+    for (const NodeId p : pred_[v]) best = std::max(best, t[p] + nodes_[p].cost);
+    t[v] = best;
+  }
+  return t;
+}
+
+double Graph::critical_path_length() const {
+  double best = 0.0;
+  for (const double b : bottom_levels()) best = std::max(best, b);
+  return best;
+}
+
+std::vector<NodeId> Graph::critical_path() const {
+  if (nodes_.empty()) return {};
+  const std::vector<double> b = bottom_levels();
+
+  // Start at a source with maximal bottom level, then greedily follow the
+  // successor that carries the remaining longest path.
+  NodeId cur = kNoNode;
+  double best = -1.0;
+  for (std::size_t v = 0; v < nodes_.size(); ++v) {
+    if (!pred_[v].empty()) continue;
+    if (b[v] > best) {
+      best = b[v];
+      cur = static_cast<NodeId>(v);
+    }
+  }
+  RAA_CHECK(cur != kNoNode);
+
+  std::vector<NodeId> path{cur};
+  while (!succ_[cur].empty()) {
+    NodeId next = kNoNode;
+    double next_b = -1.0;
+    for (const NodeId s : succ_[cur]) {
+      if (b[s] > next_b) {
+        next_b = b[s];
+        next = s;
+      }
+    }
+    cur = next;
+    path.push_back(cur);
+  }
+  return path;
+}
+
+std::vector<bool> Graph::critical_nodes() const {
+  std::vector<bool> mark(nodes_.size(), false);
+  if (nodes_.empty()) return mark;
+  const std::vector<double> b = bottom_levels();
+  const std::vector<double> t = top_levels();
+  const double cp = critical_path_length();
+  // Tolerance: costs are doubles; membership uses a relative epsilon.
+  const double eps = 1e-9 * std::max(1.0, cp);
+  for (std::size_t v = 0; v < nodes_.size(); ++v)
+    mark[v] = (t[v] + b[v] >= cp - eps);
+  return mark;
+}
+
+double Graph::parallelism() const {
+  const double cp = critical_path_length();
+  return cp > 0.0 ? total_cost() / cp : 0.0;
+}
+
+std::string Graph::to_dot() const {
+  std::ostringstream os;
+  os << "digraph tdg {\n  rankdir=TB;\n";
+  const std::vector<bool> crit = critical_nodes();
+  for (const Node& n : nodes_) {
+    os << "  n" << n.id << " [label=\""
+       << (n.label.empty() ? ("t" + std::to_string(n.id)) : n.label) << "\\n"
+       << n.cost << "\"";
+    if (crit[n.id]) os << ", style=filled, fillcolor=salmon";
+    os << "];\n";
+  }
+  for (std::size_t v = 0; v < nodes_.size(); ++v)
+    for (const NodeId s : succ_[v]) os << "  n" << v << " -> n" << s << ";\n";
+  os << "}\n";
+  return os.str();
+}
+
+Graph Synthetic::chain(std::size_t n, double cost) {
+  Graph g;
+  NodeId prev = kNoNode;
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId v = g.add_node(cost, "c" + std::to_string(i));
+    if (prev != kNoNode) g.add_edge(prev, v);
+    prev = v;
+  }
+  return g;
+}
+
+Graph Synthetic::fork_join(std::size_t width, double cost,
+                           double serial_cost) {
+  Graph g;
+  const NodeId src = g.add_node(serial_cost, "fork");
+  const NodeId sink_id = g.add_node(serial_cost, "join");
+  for (std::size_t i = 0; i < width; ++i) {
+    const NodeId v = g.add_node(cost, "w" + std::to_string(i));
+    g.add_edge(src, v);
+    g.add_edge(v, sink_id);
+  }
+  return g;
+}
+
+Graph Synthetic::cholesky(std::size_t tiles, double tile_cost) {
+  Graph g;
+  const auto t = tiles;
+  // id grids; kNoNode marks "not created".
+  std::vector<std::vector<NodeId>> trsm(t, std::vector<NodeId>(t, kNoNode));
+  std::vector<std::vector<NodeId>> panel(t, std::vector<NodeId>(t, kNoNode));
+  // panel[j][i] = last task that updated tile (i, j) (i >= j).
+
+  for (std::size_t k = 0; k < t; ++k) {
+    const NodeId potrf =
+        g.add_node(tile_cost / 3.0, "potrf" + std::to_string(k), true);
+    if (panel[k][k] != kNoNode) g.add_edge(panel[k][k], potrf);
+    panel[k][k] = potrf;
+
+    for (std::size_t i = k + 1; i < t; ++i) {
+      const NodeId ts = g.add_node(
+          tile_cost, "trsm" + std::to_string(k) + "_" + std::to_string(i));
+      g.add_edge(potrf, ts);
+      if (panel[k][i] != kNoNode) g.add_edge(panel[k][i], ts);
+      trsm[k][i] = ts;
+      panel[k][i] = ts;
+    }
+    for (std::size_t i = k + 1; i < t; ++i) {
+      for (std::size_t j = k + 1; j <= i; ++j) {
+        const bool diag = (i == j);
+        const NodeId upd =
+            g.add_node(diag ? tile_cost : 2.0 * tile_cost,
+                       (diag ? "syrk" : "gemm") + std::to_string(k) + "_" +
+                           std::to_string(i) + "_" + std::to_string(j));
+        g.add_edge(trsm[k][i], upd);
+        if (!diag) g.add_edge(trsm[k][j], upd);
+        if (panel[j][i] != kNoNode) g.add_edge(panel[j][i], upd);
+        panel[j][i] = upd;
+      }
+    }
+  }
+  return g;
+}
+
+Graph Synthetic::layered_random(std::size_t layers, std::size_t width,
+                                std::size_t max_deg, double cost_lo,
+                                double cost_hi, std::uint64_t seed) {
+  RAA_CHECK(layers > 0 && width > 0 && max_deg > 0);
+  Rng rng{seed};
+  Graph g;
+  std::vector<NodeId> prev;
+  for (std::size_t layer = 0; layer < layers; ++layer) {
+    std::vector<NodeId> cur;
+    cur.reserve(width);
+    for (std::size_t i = 0; i < width; ++i) {
+      const double cost = rng.uniform(cost_lo, cost_hi);
+      const NodeId v = g.add_node(
+          cost, "L" + std::to_string(layer) + "_" + std::to_string(i));
+      if (!prev.empty()) {
+        const std::size_t deg =
+            1 + static_cast<std::size_t>(rng.below(max_deg));
+        // Sample `deg` distinct predecessors from the previous layer.
+        std::vector<NodeId> pool = prev;
+        rng.shuffle(pool);
+        for (std::size_t d = 0; d < deg && d < pool.size(); ++d)
+          g.add_edge(pool[d], v);
+      }
+      cur.push_back(v);
+    }
+    prev = std::move(cur);
+  }
+  return g;
+}
+
+Graph Synthetic::pipeline(std::size_t frames, std::size_t stages,
+                          double stage_cost) {
+  Graph g;
+  std::vector<std::vector<NodeId>> id(frames, std::vector<NodeId>(stages));
+  for (std::size_t f = 0; f < frames; ++f) {
+    for (std::size_t s = 0; s < stages; ++s) {
+      id[f][s] = g.add_node(
+          stage_cost, "f" + std::to_string(f) + "s" + std::to_string(s));
+      if (s > 0) g.add_edge(id[f][s - 1], id[f][s]);
+      if (f > 0) g.add_edge(id[f - 1][s], id[f][s]);
+    }
+  }
+  return g;
+}
+
+}  // namespace raa::tdg

@@ -1,0 +1,121 @@
+#pragma once
+/// \file graph.hpp
+/// Task Dependency Graph (TDG): the runtime's central data structure, also
+/// consumed standalone by the simulators (simcore replays TDGs on modelled
+/// machines, rsu computes criticality over them).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace raa::tdg {
+
+using NodeId = std::uint32_t;
+
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+/// One task in the graph. `cost` is abstract work (cycles at nominal
+/// frequency for the simulators; measured nanoseconds when captured from a
+/// real execution).
+struct Node {
+  NodeId id = kNoNode;
+  double cost = 1.0;
+  bool critical_hint = false;  ///< programmer annotation (§3.1)
+  std::string label;
+};
+
+/// A directed acyclic graph of tasks. Construction is append-only (matching
+/// how a runtime discovers tasks); analyses are performed on the complete
+/// graph.
+class Graph {
+ public:
+  /// Append a node; returns its id (dense, starting at 0).
+  NodeId add_node(double cost, std::string label = {},
+                  bool critical_hint = false);
+
+  /// Add a dependence edge: `to` cannot start until `from` finishes.
+  /// Self-edges and ids out of range are rejected (RAA_CHECK).
+  void add_edge(NodeId from, NodeId to);
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t edge_count() const noexcept { return edge_count_; }
+  const Node& node(NodeId id) const { return nodes_.at(id); }
+  Node& node(NodeId id) { return nodes_.at(id); }
+  const std::vector<Node>& nodes() const noexcept { return nodes_; }
+
+  const std::vector<NodeId>& successors(NodeId id) const {
+    return succ_.at(id);
+  }
+  const std::vector<NodeId>& predecessors(NodeId id) const {
+    return pred_.at(id);
+  }
+
+  /// Total work: sum of node costs.
+  double total_cost() const noexcept;
+
+  /// Kahn topological order. Throws std::logic_error when the graph has a
+  /// cycle (cannot happen for runtime-captured graphs; programmatic
+  /// construction is checked here).
+  std::vector<NodeId> topo_order() const;
+
+  /// b(v) = cost(v) + max over successors s of b(s). The classic "bottom
+  /// level" used for criticality (§3.1): a task is on the critical path iff
+  /// t(v) + b(v) == critical_path_length(), with t the top level.
+  std::vector<double> bottom_levels() const;
+
+  /// t(v) = max over predecessors p of (t(p) + cost(p)); earliest start time
+  /// with unlimited cores.
+  std::vector<double> top_levels() const;
+
+  /// Length of the longest cost-weighted path (== makespan on infinitely
+  /// many cores).
+  double critical_path_length() const;
+
+  /// One maximal-cost path, source to sink, as a node sequence.
+  std::vector<NodeId> critical_path() const;
+
+  /// Mark of every node that lies on *some* longest path.
+  std::vector<bool> critical_nodes() const;
+
+  /// Average width: total work / critical path length — the paper's notion
+  /// of available task parallelism.
+  double parallelism() const;
+
+  /// Graphviz dump for inspection (examples use this).
+  std::string to_dot() const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<std::vector<NodeId>> succ_;
+  std::vector<std::vector<NodeId>> pred_;
+  std::size_t edge_count_ = 0;
+};
+
+/// Builders for the synthetic TDG families used by the §3.1 experiments.
+struct Synthetic {
+  /// Linear chain of n tasks, each of cost `cost`.
+  static Graph chain(std::size_t n, double cost = 1.0);
+
+  /// Fork-join: source -> n parallel tasks -> sink.
+  static Graph fork_join(std::size_t width, double cost = 1.0,
+                         double serial_cost = 1.0);
+
+  /// Left-looking tiled Cholesky TDG over an t x t tile grid: potrf/trsm/
+  /// syrk/gemm tasks with the canonical dependence pattern. Costs follow the
+  /// kernels' flop ratios (potrf 1/3, trsm 1, syrk 1, gemm 2 units * b^3).
+  static Graph cholesky(std::size_t tiles, double tile_cost = 6.0);
+
+  /// Layered random DAG: `layers` layers of `width` tasks; each task depends
+  /// on 1..max_deg uniformly random tasks of the previous layer. Costs are
+  /// uniform in [cost_lo, cost_hi]. Deterministic in `seed`.
+  static Graph layered_random(std::size_t layers, std::size_t width,
+                              std::size_t max_deg, double cost_lo,
+                              double cost_hi, std::uint64_t seed);
+
+  /// Pipeline: f frames x s stages; stage j of frame i depends on stage j-1
+  /// of frame i and stage j of frame i-1 (classic wavefront pipeline).
+  static Graph pipeline(std::size_t frames, std::size_t stages,
+                        double stage_cost = 1.0);
+};
+
+}  // namespace raa::tdg

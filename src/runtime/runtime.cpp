@@ -1,0 +1,212 @@
+#include "runtime/runtime.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace raa::rt {
+
+namespace {
+/// True while the current thread is inside a task body. taskwait() is a
+/// barrier over *all* tasks, so calling it from a task body (whose own
+/// completion the barrier would wait for) is a guaranteed deadlock; we
+/// detect and reject it instead.
+thread_local bool t_in_task_body = false;
+}  // namespace
+
+Runtime::Runtime(RuntimeOptions options)
+    : options_(options),
+      scheduler_(options.policy, options.num_workers, options.seed),
+      epoch_(std::chrono::steady_clock::now()) {
+  workers_.reserve(options_.num_workers);
+  for (unsigned w = 0; w < options_.num_workers; ++w)
+    workers_.emplace_back(
+        [this, w](std::stop_token stop) { worker_loop(stop, w); });
+}
+
+Runtime::~Runtime() {
+  taskwait();
+  for (auto& w : workers_) w.request_stop();
+  work_cv_.notify_all();
+  // jthread joins on destruction (RAII, CP.25).
+}
+
+std::uint64_t Runtime::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+TaskId Runtime::spawn(std::function<void()> body, TaskAttrs attrs) {
+  return spawn(std::vector<Dep>{}, std::move(body), std::move(attrs));
+}
+
+TaskId Runtime::spawn(std::vector<Dep> deps, std::function<void()> body,
+                      TaskAttrs attrs) {
+  RAA_CHECK(body != nullptr);
+  bool ready = false;
+  TaskId id = kNoTask;
+  {
+    const std::scoped_lock lock{graph_mutex_};
+    auto block = std::make_unique<detail::TaskBlock>();
+    detail::TaskBlock* t = block.get();
+    id = static_cast<TaskId>(tasks_.size());
+    t->id = id;
+    t->body = std::move(body);
+    t->attrs = std::move(attrs);
+    tasks_.push_back(std::move(block));
+    ++spawned_;
+
+    std::vector<TaskId> preds;
+    registry_.register_task(id, deps, preds);
+
+    if (options_.capture_graph) {
+      const double cost =
+          t->attrs.cost_hint > 0.0 ? t->attrs.cost_hint : 1.0;
+      const tdg::NodeId node = captured_.add_node(
+          cost, t->attrs.label,
+          t->attrs.criticality == Criticality::critical);
+      RAA_CHECK(node == id);  // ids are dense and aligned with the graph
+      for (const TaskId p : preds) captured_.add_edge(p, id);
+    }
+
+    for (const TaskId p : preds) {
+      detail::TaskBlock* pred = tasks_[p].get();
+      if (!pred->finished) {
+        pred->successors.push_back(t);
+        ++t->pending_preds;
+      }
+    }
+    ready = (t->pending_preds == 0);
+    if (ready) {
+      scheduler_.push(t, options_.num_workers);  // no worker affinity
+      ++ready_count_;
+    }
+  }
+  if (ready) work_cv_.notify_one();
+  return id;
+}
+
+void Runtime::execute(detail::TaskBlock* task, unsigned worker_id) {
+  TraceRecord rec;
+  rec.task = task->id;
+  rec.worker = worker_id;
+  rec.start_ns = now_ns();
+  {
+    const bool outer = t_in_task_body;
+    t_in_task_body = true;
+    task->body();
+    t_in_task_body = outer;
+  }
+  rec.end_ns = now_ns();
+
+  std::vector<detail::TaskBlock*> newly_ready;
+  {
+    const std::scoped_lock lock{graph_mutex_};
+    task->finished = true;
+    task->body = nullptr;  // release captured state promptly
+    task->trace = rec;
+    ++executed_;
+    trace_.push_back(rec);
+    if (options_.capture_graph && task->attrs.cost_hint <= 0.0) {
+      // Replace the placeholder cost with the measured duration (>= 1ns so
+      // graph analyses never see zero-cost nodes).
+      captured_.node(task->id).cost =
+          std::max<double>(1.0, static_cast<double>(rec.end_ns - rec.start_ns));
+    }
+    for (detail::TaskBlock* succ : task->successors) {
+      RAA_CHECK(succ->pending_preds > 0);
+      if (--succ->pending_preds == 0) newly_ready.push_back(succ);
+    }
+    for (detail::TaskBlock* succ : newly_ready) {
+      scheduler_.push(succ, worker_id);
+      ++ready_count_;
+    }
+  }
+  if (!newly_ready.empty()) {
+    if (newly_ready.size() == 1)
+      work_cv_.notify_one();
+    else
+      work_cv_.notify_all();
+  }
+  done_cv_.notify_all();
+}
+
+bool Runtime::run_one(unsigned worker_id) {
+  detail::TaskBlock* t = scheduler_.pop(worker_id);
+  if (t == nullptr) return false;
+  {
+    const std::scoped_lock lock{graph_mutex_};
+    RAA_CHECK(ready_count_ > 0);
+    --ready_count_;
+  }
+  execute(t, worker_id);
+  return true;
+}
+
+void Runtime::worker_loop(std::stop_token stop, unsigned worker_id) {
+  while (!stop.stop_requested()) {
+    if (run_one(worker_id)) continue;
+    std::unique_lock lock{graph_mutex_};
+    work_cv_.wait(lock, [&] {
+      return ready_count_ > 0 || stop.stop_requested();
+    });
+  }
+}
+
+void Runtime::taskwait() {
+  RAA_CHECK_MSG(!t_in_task_body,
+                "taskwait() called from inside a task body; the barrier "
+                "covers all tasks and would deadlock");
+  // The caller helps execute tasks (worker id = num_workers: the shared
+  // "external" slot of the scheduler).
+  const unsigned self = options_.num_workers;
+  for (;;) {
+    if (run_one(self)) continue;
+    std::unique_lock lock{graph_mutex_};
+    if (executed_ == spawned_) return;
+    // Nothing ready but tasks still in flight on workers: wait for a
+    // completion (which may also make new tasks ready).
+    done_cv_.wait(lock, [&] {
+      return executed_ == spawned_ || ready_count_ > 0;
+    });
+    if (executed_ == spawned_) return;
+  }
+}
+
+tdg::Graph Runtime::graph() const {
+  const std::scoped_lock lock{graph_mutex_};
+  return captured_;
+}
+
+std::vector<TraceRecord> Runtime::trace() const {
+  const std::scoped_lock lock{graph_mutex_};
+  std::vector<TraceRecord> out = trace_;
+  std::sort(out.begin(), out.end(),
+            [](const TraceRecord& a, const TraceRecord& b) {
+              return a.end_ns < b.end_ns;
+            });
+  return out;
+}
+
+RuntimeStats Runtime::stats() const {
+  const std::scoped_lock lock{graph_mutex_};
+  return RuntimeStats{spawned_, executed_, captured_.edge_count(),
+                      scheduler_.steal_count()};
+}
+
+void parallel_for(Runtime& rt, std::size_t begin, std::size_t end,
+                  std::size_t chunks,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
+  RAA_CHECK(begin <= end && chunks > 0);
+  const std::size_t n = end - begin;
+  const std::size_t chunk = (n + chunks - 1) / chunks;
+  for (std::size_t lo = begin; lo < end; lo += chunk) {
+    const std::size_t hi = std::min(end, lo + chunk);
+    rt.spawn([body, lo, hi] { body(lo, hi); });
+  }
+  rt.taskwait();
+}
+
+}  // namespace raa::rt

@@ -1,0 +1,131 @@
+#pragma once
+/// \file runtime.hpp
+/// Public facade of the RAA tasking runtime (the paper's OmpSs/Nanos-like
+/// layer): spawn tasks with data-region annotations, let the runtime build
+/// the Task Dependency Graph and execute tasks out-of-order on a worker
+/// pool, then inspect the captured TDG and execution trace.
+///
+/// Example:
+/// \code
+///   raa::rt::Runtime rt{{.num_workers = 4}};
+///   double a = 0, b = 0;
+///   rt.spawn({raa::rt::out(a)}, [&] { a = produce(); });
+///   rt.spawn({raa::rt::out(b)}, [&] { b = produce(); });
+///   rt.spawn({raa::rt::in(a), raa::rt::in(b)}, [&] { consume(a + b); });
+///   rt.taskwait();
+/// \endcode
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/dependences.hpp"
+#include "runtime/graph.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/task.hpp"
+
+namespace raa::rt {
+
+/// Construction-time options.
+struct RuntimeOptions {
+  /// Worker threads in addition to the calling thread. The caller also
+  /// executes tasks while blocked in taskwait() ("work helping"), so
+  /// num_workers == 0 gives a valid serial runtime.
+  unsigned num_workers = 0;
+  SchedulerPolicy policy = SchedulerPolicy::work_stealing;
+  /// Capture the TDG and execution trace (cheap; on by default — the whole
+  /// point of a runtime-aware architecture is that this graph exists).
+  bool capture_graph = true;
+  std::uint64_t seed = 1;
+};
+
+/// Aggregate execution statistics.
+struct RuntimeStats {
+  std::uint64_t tasks_spawned = 0;
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t edges = 0;
+  std::uint64_t steals = 0;
+};
+
+/// The tasking runtime. Thread-compatible: any thread (including task
+/// bodies, for nested parallelism) may call spawn(); taskwait() may be
+/// called from the constructor thread or from task bodies (it is a full
+/// barrier over all spawned tasks).
+class Runtime {
+ public:
+  explicit Runtime(RuntimeOptions options = {});
+
+  /// Blocks until all tasks finish, then joins the workers.
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Submit a task. `deps` lists the byte ranges the task reads/writes;
+  /// the runtime orders it after every conflicting earlier task.
+  TaskId spawn(std::vector<Dep> deps, std::function<void()> body,
+               TaskAttrs attrs = {});
+
+  /// Convenience overload without dependences (embarrassingly parallel).
+  TaskId spawn(std::function<void()> body, TaskAttrs attrs = {});
+
+  /// Full barrier: returns when every task spawned so far has finished.
+  /// The calling thread executes ready tasks while it waits.
+  void taskwait();
+
+  /// Snapshot of the captured TDG. Node costs are the measured execution
+  /// times in nanoseconds (0 for unfinished tasks, cost_hint if provided
+  /// and the task has not run). Call after taskwait() for a stable view.
+  tdg::Graph graph() const;
+
+  /// Execution trace (one record per finished task), ordered by end time.
+  std::vector<TraceRecord> trace() const;
+
+  RuntimeStats stats() const;
+
+  unsigned num_workers() const noexcept { return options_.num_workers; }
+
+ private:
+  void worker_loop(std::stop_token stop, unsigned worker_id);
+
+  /// Run one ready task if available. Returns false when no task was ready.
+  bool run_one(unsigned worker_id);
+
+  void execute(detail::TaskBlock* task, unsigned worker_id);
+
+  std::uint64_t now_ns() const;
+
+  RuntimeOptions options_;
+  Scheduler scheduler_;
+
+  /// Graph mutex: guards task-block state transitions, the dependence
+  /// registry, the captured graph and counters. Task bodies run unlocked.
+  mutable std::mutex graph_mutex_;
+  std::condition_variable work_cv_;   ///< signalled when tasks become ready
+  std::condition_variable done_cv_;   ///< signalled on task completion
+  DependenceRegistry registry_;
+  std::deque<std::unique_ptr<detail::TaskBlock>> tasks_;  // stable addresses
+  tdg::Graph captured_;
+  std::vector<std::pair<TaskId, TaskId>> captured_edges_;
+  std::vector<TraceRecord> trace_;
+  std::uint64_t spawned_ = 0;
+  std::uint64_t executed_ = 0;
+  std::uint64_t ready_count_ = 0;  ///< tasks inside the scheduler
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<std::jthread> workers_;
+};
+
+/// Parallel-for convenience built on the runtime: splits [begin, end) into
+/// `chunks` tasks (no dependences) and taskwaits. Used by the mini-apps.
+void parallel_for(Runtime& rt, std::size_t begin, std::size_t end,
+                  std::size_t chunks,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+
+}  // namespace raa::rt

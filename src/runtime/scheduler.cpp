@@ -1,0 +1,119 @@
+#include "runtime/scheduler.hpp"
+
+#include "common/check.hpp"
+
+namespace raa::rt {
+
+const char* to_string(SchedulerPolicy p) noexcept {
+  switch (p) {
+    case SchedulerPolicy::fifo: return "fifo";
+    case SchedulerPolicy::lifo: return "lifo";
+    case SchedulerPolicy::work_stealing: return "work_stealing";
+    case SchedulerPolicy::criticality_first: return "criticality_first";
+  }
+  return "?";
+}
+
+Scheduler::Scheduler(SchedulerPolicy policy, unsigned num_workers,
+                     std::uint64_t seed)
+    : policy_(policy), num_workers_(num_workers), rng_(seed) {
+  if (policy_ == SchedulerPolicy::work_stealing) {
+    // One extra slot (index num_workers_) for pushes without worker
+    // affinity, e.g. from the spawning main thread.
+    local_.reserve(num_workers_ + 1);
+    for (unsigned i = 0; i <= num_workers_; ++i)
+      local_.push_back(std::make_unique<LocalQueue>());
+  }
+}
+
+void Scheduler::push(detail::TaskBlock* task, unsigned worker_hint) {
+  RAA_CHECK(task != nullptr);
+  switch (policy_) {
+    case SchedulerPolicy::fifo:
+    case SchedulerPolicy::lifo: {
+      const std::scoped_lock lock{central_mutex_};
+      central_.push_back(task);
+      return;
+    }
+    case SchedulerPolicy::criticality_first: {
+      const std::scoped_lock lock{central_mutex_};
+      if (task->attrs.criticality == Criticality::critical)
+        central_critical_.push_back(task);
+      else
+        central_.push_back(task);
+      return;
+    }
+    case SchedulerPolicy::work_stealing: {
+      const unsigned slot = worker_hint <= num_workers_ ? worker_hint
+                                                        : num_workers_;
+      LocalQueue& q = *local_[slot];
+      const std::scoped_lock lock{q.mutex};
+      q.tasks.push_back(task);
+      return;
+    }
+  }
+}
+
+detail::TaskBlock* Scheduler::pop(unsigned worker) {
+  return policy_ == SchedulerPolicy::work_stealing ? pop_stealing(worker)
+                                                   : pop_central(worker);
+}
+
+detail::TaskBlock* Scheduler::pop_central(unsigned /*worker*/) {
+  const std::scoped_lock lock{central_mutex_};
+  if (!central_critical_.empty()) {
+    detail::TaskBlock* t = central_critical_.front();
+    central_critical_.pop_front();
+    return t;
+  }
+  if (central_.empty()) return nullptr;
+  detail::TaskBlock* t = nullptr;
+  if (policy_ == SchedulerPolicy::lifo) {
+    t = central_.back();
+    central_.pop_back();
+  } else {
+    t = central_.front();
+    central_.pop_front();
+  }
+  return t;
+}
+
+detail::TaskBlock* Scheduler::pop_stealing(unsigned worker) {
+  const unsigned self = worker <= num_workers_ ? worker : num_workers_;
+  {  // Own queue: LIFO for cache locality.
+    LocalQueue& q = *local_[self];
+    const std::scoped_lock lock{q.mutex};
+    if (!q.tasks.empty()) {
+      detail::TaskBlock* t = q.tasks.back();
+      q.tasks.pop_back();
+      return t;
+    }
+  }
+  // Steal: FIFO from a rotating sequence of victims starting at a random
+  // offset (randomised to avoid convoying).
+  unsigned start = 0;
+  {
+    const std::scoped_lock lock{rng_mutex_};
+    start = static_cast<unsigned>(rng_.below(num_workers_ + 1));
+  }
+  for (unsigned k = 0; k <= num_workers_; ++k) {
+    const unsigned victim = (start + k) % (num_workers_ + 1);
+    if (victim == self) continue;
+    LocalQueue& q = *local_[victim];
+    const std::scoped_lock lock{q.mutex};
+    if (!q.tasks.empty()) {
+      detail::TaskBlock* t = q.tasks.front();
+      q.tasks.pop_front();
+      {
+        const std::scoped_lock rlock{rng_mutex_};
+        ++steals_;
+      }
+      return t;
+    }
+  }
+  return nullptr;
+}
+
+std::uint64_t Scheduler::steal_count() const noexcept { return steals_; }
+
+}  // namespace raa::rt

@@ -1,0 +1,74 @@
+#pragma once
+/// \file scheduler.hpp
+/// Ready-task scheduling policies for the RAA runtime.
+///
+/// Per C++ Core Guidelines CP.100 we deliberately avoid hand-rolled
+/// lock-free structures: every queue is a plain deque guarded by its own
+/// mutex. Tasks in this model are coarse (microseconds and up), so queue
+/// contention is noise; correctness and auditability win.
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "runtime/task.hpp"
+
+namespace raa::rt {
+
+/// Scheduling policy selector.
+enum class SchedulerPolicy : std::uint8_t {
+  fifo,              ///< single central FIFO queue
+  lifo,              ///< single central LIFO stack (depth-first)
+  work_stealing,     ///< per-worker deques; owner LIFO, thieves FIFO
+  criticality_first  ///< central queues; critical-annotated tasks first
+};
+
+const char* to_string(SchedulerPolicy p) noexcept;
+
+/// Ready-queue with pluggable policy. All operations are thread-safe and
+/// non-blocking; parking idle workers is the runtime's job.
+class Scheduler {
+ public:
+  Scheduler(SchedulerPolicy policy, unsigned num_workers, std::uint64_t seed);
+
+  /// Enqueue a ready task. `worker_hint` is the id of the worker that made
+  /// it ready (used by work stealing for locality); pass num_workers for
+  /// "no affinity" (e.g. the spawning main thread).
+  void push(detail::TaskBlock* task, unsigned worker_hint);
+
+  /// Dequeue work for `worker`; nullptr when empty everywhere.
+  detail::TaskBlock* pop(unsigned worker);
+
+  SchedulerPolicy policy() const noexcept { return policy_; }
+
+  /// Total steals performed (work_stealing only; diagnostic counter).
+  std::uint64_t steal_count() const noexcept;
+
+ private:
+  struct LocalQueue {
+    std::mutex mutex;
+    std::deque<detail::TaskBlock*> tasks;
+  };
+
+  detail::TaskBlock* pop_central(unsigned worker);
+  detail::TaskBlock* pop_stealing(unsigned worker);
+
+  SchedulerPolicy policy_;
+  unsigned num_workers_;
+
+  // Central queues (fifo / lifo / criticality_first).
+  std::mutex central_mutex_;
+  std::deque<detail::TaskBlock*> central_;
+  std::deque<detail::TaskBlock*> central_critical_;
+
+  // Work stealing state.
+  std::vector<std::unique_ptr<LocalQueue>> local_;
+  std::mutex rng_mutex_;
+  Rng rng_;
+  std::uint64_t steals_ = 0;
+};
+
+}  // namespace raa::rt

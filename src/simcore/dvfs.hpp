@@ -1,0 +1,110 @@
+#pragma once
+/// \file dvfs.hpp
+/// DVFS operating points and the chip power model used by the §3.1
+/// experiments (task criticality / Runtime Support Unit).
+///
+/// Power model: P_core = C_eff · V² · f  +  P_leak(V), the standard CMOS
+/// first-order model. Constants are chosen to land in the ballpark of a
+/// ~2 GHz embedded-class core (≈1 W dynamic at nominal), which is the
+/// regime the paper's 32-core chip targets; only *relative* numbers matter
+/// for the reproduced claims.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace raa::sim {
+
+/// One voltage/frequency pair.
+struct OperatingPoint {
+  double freq_ghz = 2.0;
+  double voltage = 1.0;
+
+  friend bool operator==(const OperatingPoint&,
+                         const OperatingPoint&) = default;
+};
+
+/// First-order CMOS power model.
+struct PowerModel {
+  /// Effective switched capacitance such that dynamic power is
+  /// C_eff · V² · f(GHz) watts. 0.5 → 1 W at 2 GHz / 1 V.
+  double c_eff = 0.5;
+  /// Leakage at 1 V, scaled linearly with V (good enough first order).
+  double leak_w_at_1v = 0.15;
+
+  double dynamic_w(const OperatingPoint& op) const noexcept {
+    return c_eff * op.voltage * op.voltage * op.freq_ghz;
+  }
+  double leakage_w(const OperatingPoint& op) const noexcept {
+    return leak_w_at_1v * op.voltage;
+  }
+  /// Busy-core power.
+  double busy_w(const OperatingPoint& op) const noexcept {
+    return dynamic_w(op) + leakage_w(op);
+  }
+  /// Idle-core power (clock-gated: leakage only).
+  double idle_w(const OperatingPoint& op) const noexcept {
+    return leakage_w(op);
+  }
+};
+
+/// Discrete table of operating points, ascending by frequency.
+class DvfsTable {
+ public:
+  explicit DvfsTable(std::vector<OperatingPoint> points)
+      : points_(std::move(points)) {
+    RAA_CHECK(!points_.empty());
+    for (std::size_t i = 1; i < points_.size(); ++i)
+      RAA_CHECK(points_[i - 1].freq_ghz < points_[i].freq_ghz);
+  }
+
+  /// The 5-point table used throughout the experiments:
+  /// 0.8/0.70, 1.2/0.80, 1.6/0.90, 2.0/1.00 (nominal), 2.4/1.15 (turbo).
+  static DvfsTable typical() {
+    return DvfsTable{{{0.8, 0.70},
+                      {1.2, 0.80},
+                      {1.6, 0.90},
+                      {2.0, 1.00},
+                      {2.4, 1.15}}};
+  }
+
+  const std::vector<OperatingPoint>& points() const noexcept {
+    return points_;
+  }
+  const OperatingPoint& lowest() const noexcept { return points_.front(); }
+  const OperatingPoint& highest() const noexcept { return points_.back(); }
+  /// Nominal = one step below turbo for tables with >1 point.
+  const OperatingPoint& nominal() const noexcept {
+    return points_.size() > 1 ? points_[points_.size() - 2] : points_.front();
+  }
+
+  /// Highest point with freq <= f (or the lowest point).
+  const OperatingPoint& at_most(double freq_ghz) const noexcept {
+    const OperatingPoint* best = &points_.front();
+    for (const auto& p : points_)
+      if (p.freq_ghz <= freq_ghz) best = &p;
+    return *best;
+  }
+
+ private:
+  std::vector<OperatingPoint> points_;
+};
+
+/// Machine description for TDG replay.
+struct MachineConfig {
+  unsigned cores = 32;
+  DvfsTable dvfs = DvfsTable::typical();
+  PowerModel power{};
+  /// Chip-level budget; the default admits all cores at nominal but not all
+  /// at turbo — exactly the regime where criticality-aware boosting pays.
+  double power_budget_w = 0.0;  ///< 0 = cores × busy_w(nominal)
+
+  double effective_budget_w() const noexcept {
+    return power_budget_w > 0.0
+               ? power_budget_w
+               : static_cast<double>(cores) * power.busy_w(dvfs.nominal());
+  }
+};
+
+}  // namespace raa::sim

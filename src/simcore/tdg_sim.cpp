@@ -1,0 +1,149 @@
+#include "simcore/tdg_sim.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <queue>
+
+#include "common/check.hpp"
+
+namespace raa::sim {
+
+PriorityFn priority_fifo() {
+  return [](const tdg::Graph&, tdg::NodeId v) {
+    return -static_cast<double>(v);
+  };
+}
+
+PriorityFn priority_bottom_level() {
+  // Bottom levels are cached per graph instance (the replay uses a single
+  // graph; recomputing per query would be quadratic).
+  struct Cache {
+    const tdg::Graph* graph = nullptr;
+    std::vector<double> levels;
+  };
+  auto cache = std::make_shared<Cache>();
+  return [cache](const tdg::Graph& g, tdg::NodeId v) {
+    if (cache->graph != &g) {
+      cache->graph = &g;
+      cache->levels = g.bottom_levels();
+    }
+    return cache->levels[v];
+  };
+}
+
+namespace {
+
+struct ReadyEntry {
+  double priority = 0.0;
+  tdg::NodeId task = tdg::kNoNode;
+
+  // Max-heap by priority; ties broken toward the smaller id so replays are
+  // fully deterministic.
+  bool operator<(const ReadyEntry& o) const noexcept {
+    if (priority != o.priority) return priority < o.priority;
+    return task > o.task;
+  }
+};
+
+struct Completion {
+  double end_ns = 0.0;
+  unsigned core = 0;
+  tdg::NodeId task = tdg::kNoNode;
+
+  bool operator>(const Completion& o) const noexcept {
+    if (end_ns != o.end_ns) return end_ns > o.end_ns;
+    return task > o.task;
+  }
+};
+
+}  // namespace
+
+ReplayResult replay(const tdg::Graph& graph, const MachineConfig& machine,
+                    const PriorityFn& priority, FrequencyGovernor* governor) {
+  RAA_CHECK(machine.cores > 0);
+  NominalGovernor nominal;
+  if (governor == nullptr) governor = &nominal;
+  governor->prepare(graph, machine);
+
+  ReplayResult result;
+  const std::size_t n = graph.node_count();
+  result.timeline.resize(n);
+  if (n == 0) return result;
+
+  std::vector<std::uint32_t> indeg(n);
+  for (std::size_t v = 0; v < n; ++v)
+    indeg[v] = static_cast<std::uint32_t>(graph.predecessors(
+        static_cast<tdg::NodeId>(v)).size());
+
+  std::priority_queue<ReadyEntry> ready;
+  for (std::size_t v = 0; v < n; ++v)
+    if (indeg[v] == 0) {
+      const auto id = static_cast<tdg::NodeId>(v);
+      ready.push({priority(graph, id), id});
+    }
+
+  std::priority_queue<Completion, std::vector<Completion>, std::greater<>>
+      running;
+  // Idle cores, smallest id first for determinism.
+  std::priority_queue<unsigned, std::vector<unsigned>, std::greater<>> idle;
+  for (unsigned c = 0; c < machine.cores; ++c) idle.push(c);
+
+  std::vector<OperatingPoint> core_op(machine.cores, machine.dvfs.nominal());
+  double now = 0.0;
+  double busy_energy_j = 0.0;
+  std::size_t completed = 0;
+
+  while (completed < n) {
+    // Start as many ready tasks as there are idle cores.
+    while (!ready.empty() && !idle.empty()) {
+      const ReadyEntry entry = ready.top();
+      ready.pop();
+      const unsigned core = idle.top();
+      idle.pop();
+
+      const FreqDecision dec = governor->on_task_start(entry.task, core, now);
+      RAA_CHECK(dec.op.freq_ghz > 0.0);
+      if (!(dec.op == core_op[core])) {
+        ++result.freq_switches;
+        core_op[core] = dec.op;
+      }
+      const double cost = graph.node(entry.task).cost;
+      const double exec_ns = cost / dec.op.freq_ghz;
+      const double end_ns = now + dec.stall_ns + exec_ns;
+
+      PlacedTask& placed = result.timeline[entry.task];
+      placed = {entry.task, core, now, end_ns, dec.op, dec.stall_ns};
+
+      result.busy_ns += dec.stall_ns + exec_ns;
+      result.stall_ns += dec.stall_ns;
+      busy_energy_j +=
+          machine.power.busy_w(dec.op) * (dec.stall_ns + exec_ns) * 1e-9;
+      running.push({end_ns, core, entry.task});
+    }
+
+    RAA_CHECK_MSG(!running.empty(), "deadlock: no ready task, none running");
+    const Completion done = running.top();
+    running.pop();
+    now = done.end_ns;
+    governor->on_task_end(done.task, done.core, now);
+    idle.push(done.core);
+    ++completed;
+
+    for (const tdg::NodeId succ : graph.successors(done.task)) {
+      RAA_CHECK(indeg[succ] > 0);
+      if (--indeg[succ] == 0) ready.push({priority(graph, succ), succ});
+    }
+  }
+
+  result.makespan_ns = now;
+  // Idle leakage: every core-nanosecond not spent busy leaks at nominal V.
+  const double total_core_ns =
+      result.makespan_ns * static_cast<double>(machine.cores);
+  const double idle_ns = std::max(0.0, total_core_ns - result.busy_ns);
+  const double idle_energy_j =
+      machine.power.idle_w(machine.dvfs.nominal()) * idle_ns * 1e-9;
+  result.energy_j = busy_energy_j + idle_energy_j;
+  return result;
+}
+
+}  // namespace raa::sim

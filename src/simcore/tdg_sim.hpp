@@ -1,0 +1,116 @@
+#pragma once
+/// \file tdg_sim.hpp
+/// Discrete-event replay of a Task Dependency Graph on a modelled manycore.
+///
+/// This is the TaskSim-style substrate of the reproduction: every
+/// scalability or DVFS claim in the paper is evaluated by replaying a TDG
+/// (captured from the real runtime or built synthetically) on a machine
+/// model. The replay is a classic list scheduler:
+///
+///   * a task becomes *ready* when all predecessors finished;
+///   * idle cores pick the ready task with the highest priority;
+///   * task duration = cost / frequency (cost is in cycles-at-1GHz, so
+///     durations are in nanoseconds);
+///   * a FrequencyGovernor decides each task's operating point and models
+///     the cost of reconfiguring the core's frequency (this is where the
+///     software-DVFS vs hardware-RSU distinction lives, §3.1).
+///
+/// Energy accounting: busy cores consume dynamic+leakage power at their
+/// operating point; idle cores leak at nominal voltage.
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "runtime/graph.hpp"
+#include "simcore/dvfs.hpp"
+
+namespace raa::sim {
+
+/// Per-task frequency decision plus the stall the switch costs on this core.
+struct FreqDecision {
+  OperatingPoint op;
+  double stall_ns = 0.0;
+};
+
+/// Chooses operating points at task start; see rsu/ for implementations.
+class FrequencyGovernor {
+ public:
+  virtual ~FrequencyGovernor() = default;
+
+  /// Called once before the replay starts.
+  virtual void prepare(const tdg::Graph& graph, const MachineConfig& machine) {
+    (void)graph;
+    (void)machine;
+  }
+
+  /// Decide the operating point for `task` starting on `core` at `now_ns`.
+  virtual FreqDecision on_task_start(tdg::NodeId task, unsigned core,
+                                     double now_ns) = 0;
+
+  /// Called when `task` finishes (to release budget, etc.).
+  virtual void on_task_end(tdg::NodeId task, unsigned core, double now_ns) {
+    (void)task;
+    (void)core;
+    (void)now_ns;
+  }
+};
+
+/// Runs everything at the nominal operating point with zero switch cost.
+class NominalGovernor final : public FrequencyGovernor {
+ public:
+  void prepare(const tdg::Graph&, const MachineConfig& machine) override {
+    op_ = machine.dvfs.nominal();
+  }
+  FreqDecision on_task_start(tdg::NodeId, unsigned, double) override {
+    return {op_, 0.0};
+  }
+
+ private:
+  OperatingPoint op_{};
+};
+
+/// Task priority for the ready queue; higher runs first.
+using PriorityFn = std::function<double(const tdg::Graph&, tdg::NodeId)>;
+
+/// FIFO: earlier-created tasks first (the id encodes creation order).
+PriorityFn priority_fifo();
+/// CATS-style: tasks with larger bottom level first.
+PriorityFn priority_bottom_level();
+
+/// Where/when one task ran.
+struct PlacedTask {
+  tdg::NodeId task = tdg::kNoNode;
+  unsigned core = 0;
+  double start_ns = 0.0;
+  double end_ns = 0.0;
+  OperatingPoint op;
+  double stall_ns = 0.0;
+};
+
+/// Replay outcome.
+struct ReplayResult {
+  double makespan_ns = 0.0;
+  double energy_j = 0.0;
+  double busy_ns = 0.0;          ///< sum over cores of busy time
+  double stall_ns = 0.0;         ///< total reconfiguration stalls
+  std::uint64_t freq_switches = 0;
+  std::vector<PlacedTask> timeline;  ///< one entry per task
+
+  double edp() const noexcept { return energy_j * makespan_ns * 1e-9; }
+  /// Average core utilisation in [0, 1].
+  double utilization(unsigned cores) const noexcept {
+    return makespan_ns > 0.0
+               ? busy_ns / (makespan_ns * static_cast<double>(cores))
+               : 0.0;
+  }
+};
+
+/// Replay `graph` on `machine`. `priority` orders the ready queue;
+/// `governor` assigns operating points (nullptr = NominalGovernor).
+ReplayResult replay(const tdg::Graph& graph, const MachineConfig& machine,
+                    const PriorityFn& priority = priority_fifo(),
+                    FrequencyGovernor* governor = nullptr);
+
+}  // namespace raa::sim

@@ -1,0 +1,140 @@
+#include "solver/csr.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace raa::solver {
+
+Csr laplacian_2d(std::size_t nx, std::size_t ny) {
+  RAA_CHECK(nx > 0 && ny > 0);
+  Csr a;
+  a.n = nx * ny;
+  a.row_ptr.reserve(a.n + 1);
+  a.row_ptr.push_back(0);
+  for (std::size_t j = 0; j < ny; ++j) {
+    for (std::size_t i = 0; i < nx; ++i) {
+      const std::size_t r = j * nx + i;
+      // Lexicographic neighbour order keeps columns sorted.
+      if (j > 0) {
+        a.col.push_back(r - nx);
+        a.val.push_back(-1.0);
+      }
+      if (i > 0) {
+        a.col.push_back(r - 1);
+        a.val.push_back(-1.0);
+      }
+      a.col.push_back(r);
+      a.val.push_back(4.0);
+      if (i + 1 < nx) {
+        a.col.push_back(r + 1);
+        a.val.push_back(-1.0);
+      }
+      if (j + 1 < ny) {
+        a.col.push_back(r + nx);
+        a.val.push_back(-1.0);
+      }
+      a.row_ptr.push_back(a.col.size());
+    }
+  }
+  return a;
+}
+
+Csr laplacian_3d(std::size_t nx, std::size_t ny, std::size_t nz) {
+  RAA_CHECK(nx > 0 && ny > 0 && nz > 0);
+  Csr a;
+  a.n = nx * ny * nz;
+  a.row_ptr.reserve(a.n + 1);
+  a.row_ptr.push_back(0);
+  const std::size_t sxy = nx * ny;
+  for (std::size_t k = 0; k < nz; ++k) {
+    for (std::size_t j = 0; j < ny; ++j) {
+      for (std::size_t i = 0; i < nx; ++i) {
+        const std::size_t r = k * sxy + j * nx + i;
+        if (k > 0) {
+          a.col.push_back(r - sxy);
+          a.val.push_back(-1.0);
+        }
+        if (j > 0) {
+          a.col.push_back(r - nx);
+          a.val.push_back(-1.0);
+        }
+        if (i > 0) {
+          a.col.push_back(r - 1);
+          a.val.push_back(-1.0);
+        }
+        a.col.push_back(r);
+        a.val.push_back(6.0);
+        if (i + 1 < nx) {
+          a.col.push_back(r + 1);
+          a.val.push_back(-1.0);
+        }
+        if (j + 1 < ny) {
+          a.col.push_back(r + nx);
+          a.val.push_back(-1.0);
+        }
+        if (k + 1 < nz) {
+          a.col.push_back(r + sxy);
+          a.val.push_back(-1.0);
+        }
+        a.row_ptr.push_back(a.col.size());
+      }
+    }
+  }
+  return a;
+}
+
+void spmv(const Csr& a, std::span<const double> x, std::span<double> y) {
+  spmv_rows(a, x, y, 0, a.n);
+}
+
+void spmv_rows(const Csr& a, std::span<const double> x, std::span<double> y,
+               std::size_t row_lo, std::size_t row_hi) {
+  RAA_CHECK(x.size() == a.n && y.size() == a.n && row_hi <= a.n);
+  for (std::size_t r = row_lo; r < row_hi; ++r) {
+    double sum = 0.0;
+    for (std::size_t k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k)
+      sum += a.val[k] * x[a.col[k]];
+    y[r] = sum;
+  }
+}
+
+Csr principal_submatrix(const Csr& a, std::size_t lo, std::size_t hi) {
+  RAA_CHECK(lo < hi && hi <= a.n);
+  Csr s;
+  s.n = hi - lo;
+  s.row_ptr.reserve(s.n + 1);
+  s.row_ptr.push_back(0);
+  for (std::size_t r = lo; r < hi; ++r) {
+    for (std::size_t k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k) {
+      const std::size_t c = a.col[k];
+      if (c >= lo && c < hi) {
+        s.col.push_back(c - lo);
+        s.val.push_back(a.val[k]);
+      }
+    }
+    s.row_ptr.push_back(s.col.size());
+  }
+  return s;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  RAA_CHECK(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  RAA_CHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void xpby(std::span<const double> x, double beta, std::span<double> y) {
+  RAA_CHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] + beta * y[i];
+}
+
+double norm2(std::span<const double> a) { return std::sqrt(dot(a, a)); }
+
+}  // namespace raa::solver

@@ -1,0 +1,48 @@
+#pragma once
+/// \file csr.hpp
+/// Compressed-sparse-row matrices and the SPD model problems used by the §4
+/// resilience study. The paper evaluates on `thermal2` (SuiteSparse FEM
+/// matrix, ~1.2M dofs); we substitute discrete Laplacians — SPD, local
+/// connectivity, same CG behaviour class — with the size as a knob (see
+/// DESIGN.md, substitutions table).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace raa::solver {
+
+/// Square CSR matrix (double precision).
+struct Csr {
+  std::size_t n = 0;
+  std::vector<std::size_t> row_ptr;  ///< n+1 entries
+  std::vector<std::size_t> col;
+  std::vector<double> val;
+
+  std::size_t nnz() const noexcept { return col.size(); }
+};
+
+/// 5-point 2-D Poisson/Laplacian on an nx x ny grid (SPD, diagonal 4).
+Csr laplacian_2d(std::size_t nx, std::size_t ny);
+
+/// 7-point 3-D Laplacian on an nx x ny x nz grid (SPD, diagonal 6).
+Csr laplacian_3d(std::size_t nx, std::size_t ny, std::size_t nz);
+
+/// y = A * x.
+void spmv(const Csr& a, std::span<const double> x, std::span<double> y);
+
+/// Partial SpMV restricted to rows [row_lo, row_hi).
+void spmv_rows(const Csr& a, std::span<const double> x, std::span<double> y,
+               std::size_t row_lo, std::size_t row_hi);
+
+/// Principal submatrix A[lo:hi, lo:hi) (for the FEIR block solve A_II).
+Csr principal_submatrix(const Csr& a, std::size_t lo, std::size_t hi);
+
+// --- small BLAS-1 helpers -------------------------------------------------
+double dot(std::span<const double> a, std::span<const double> b);
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+/// y = x + beta * y.
+void xpby(std::span<const double> x, double beta, std::span<double> y);
+double norm2(std::span<const double> a);
+
+}  // namespace raa::solver

@@ -1,0 +1,40 @@
+#pragma once
+/// \file scalar_core.hpp
+/// Cost model of the scalar baseline core used for the Figure 3 speedups:
+/// a simple in-order core of the same technology as the vector unit. Sorts
+/// are executed functionally while charging per-operation costs; dependent
+/// memory chains and branchy inner loops are what make scalar radix sort
+/// expensive (the paper's scalar baseline).
+
+#include <cstdint>
+
+namespace raa::vec {
+
+/// Per-operation cycle costs (in-order, no overlap between dependent ops).
+struct ScalarCosts {
+  unsigned alu = 1;
+  unsigned load = 4;        ///< L1 hit incl. address generation
+  unsigned store = 4;
+  unsigned branch = 3;      ///< average incl. mispredictions
+  unsigned scattered = 24;  ///< load/store with low locality (bucket write)
+};
+
+/// Accumulates cycles for an instrumented scalar execution.
+class ScalarCore {
+ public:
+  explicit ScalarCore(ScalarCosts costs = {}) : costs_(costs) {}
+
+  void alu(std::uint64_t n = 1) { cycles_ += n * costs_.alu; }
+  void load(std::uint64_t n = 1) { cycles_ += n * costs_.load; }
+  void store(std::uint64_t n = 1) { cycles_ += n * costs_.store; }
+  void branch(std::uint64_t n = 1) { cycles_ += n * costs_.branch; }
+  void scattered(std::uint64_t n = 1) { cycles_ += n * costs_.scattered; }
+
+  std::uint64_t cycles() const noexcept { return cycles_; }
+
+ private:
+  ScalarCosts costs_;
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace raa::vec

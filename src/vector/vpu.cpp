@@ -1,0 +1,264 @@
+#include "vector/vpu.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace raa::vec {
+
+void Vpu::issue() {
+  blk_issue_ += cfg_.issue_cycles;
+  ++instructions_;
+}
+
+void Vpu::charge_alu(std::size_t n) { blk_alu_ += lanes_time(n); }
+
+void Vpu::charge_mem_unit(std::size_t n) {
+  blk_mem_ += lanes_time(n);
+  blk_has_mem_ = true;
+}
+
+void Vpu::charge_mem_indexed(std::size_t n) {
+  const unsigned tput = cfg_.indexed_tput();
+  blk_mem_ += (n + tput - 1) / tput;
+  blk_has_mem_ = true;
+}
+
+void Vpu::charge_vpi(std::size_t n) {
+  blk_vpi_ += cfg_.parallel_vpi ? 2 * lanes_time(n)
+                                : static_cast<std::uint64_t>(n);
+}
+
+void Vpu::sync() {
+  std::uint64_t blk = std::max({blk_alu_, blk_mem_, blk_vpi_});
+  blk += blk_issue_;
+  if (blk_has_mem_) blk += cfg_.mem_latency;
+  done_cycles_ += blk;
+  blk_issue_ = blk_alu_ = blk_mem_ = blk_vpi_ = 0;
+  blk_has_mem_ = false;
+}
+
+std::uint64_t Vpu::cycles() const {
+  std::uint64_t blk = std::max({blk_alu_, blk_mem_, blk_vpi_}) + blk_issue_;
+  if (blk_has_mem_) blk += cfg_.mem_latency;
+  return done_cycles_ + blk;
+}
+
+void Vpu::scalar_work(std::uint64_t c) {
+  sync();
+  done_cycles_ += c;
+}
+
+Vreg Vpu::vload(const Elem* base, std::size_t n) {
+  RAA_CHECK(n <= cfg_.mvl);
+  issue();
+  charge_mem_unit(n);
+  return Vreg(base, base + n);
+}
+
+void Vpu::vstore(Elem* base, const Vreg& v) {
+  RAA_CHECK(v.size() <= cfg_.mvl);
+  issue();
+  charge_mem_unit(v.size());
+  std::copy(v.begin(), v.end(), base);
+}
+
+Vreg Vpu::vgather(const Elem* base, const Vreg& idx) {
+  RAA_CHECK(idx.size() <= cfg_.mvl);
+  issue();
+  charge_mem_indexed(idx.size());
+  Vreg out(idx.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) out[i] = base[idx[i]];
+  return out;
+}
+
+void Vpu::vscatter(Elem* base, const Vreg& idx, const Vreg& val) {
+  RAA_CHECK(idx.size() == val.size() && idx.size() <= cfg_.mvl);
+  issue();
+  charge_mem_indexed(idx.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) base[idx[i]] = val[i];
+}
+
+void Vpu::vscatter_masked(Elem* base, const Vreg& idx, const Vreg& val,
+                          const Mask& mask) {
+  RAA_CHECK(idx.size() == val.size() && idx.size() == mask.size());
+  issue();
+  charge_mem_indexed(idx.size());
+  for (std::size_t i = 0; i < idx.size(); ++i)
+    if (mask[i]) base[idx[i]] = val[i];
+}
+
+#define RAA_VEC_BINOP(name, expr)                              \
+  Vreg Vpu::name(const Vreg& a, const Vreg& b) {               \
+    RAA_CHECK(a.size() == b.size());                           \
+    issue();                                                   \
+    charge_alu(a.size());                                      \
+    Vreg out(a.size());                                        \
+    for (std::size_t i = 0; i < a.size(); ++i) out[i] = (expr); \
+    return out;                                                \
+  }
+
+RAA_VEC_BINOP(vadd, a[i] + b[i])
+RAA_VEC_BINOP(vsub, a[i] - b[i])
+RAA_VEC_BINOP(vmin, std::min(a[i], b[i]))
+RAA_VEC_BINOP(vmax, std::max(a[i], b[i]))
+#undef RAA_VEC_BINOP
+
+Vreg Vpu::vadd_s(const Vreg& a, Elem s) {
+  issue();
+  charge_alu(a.size());
+  Vreg out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + s;
+  return out;
+}
+
+Vreg Vpu::vand_s(const Vreg& a, Elem s) {
+  issue();
+  charge_alu(a.size());
+  Vreg out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] & s;
+  return out;
+}
+
+Vreg Vpu::vshr_s(const Vreg& a, unsigned s) {
+  issue();
+  charge_alu(a.size());
+  Vreg out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] >> s;
+  return out;
+}
+
+Vreg Vpu::vshl_s(const Vreg& a, unsigned s) {
+  issue();
+  charge_alu(a.size());
+  Vreg out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] << s;
+  return out;
+}
+
+Vreg Vpu::vxor_s(const Vreg& a, Elem s) {
+  issue();
+  charge_alu(a.size());
+  Vreg out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] ^ s;
+  return out;
+}
+
+Vreg Vpu::vselect(const Mask& m, const Vreg& a, const Vreg& b) {
+  RAA_CHECK(m.size() == a.size() && a.size() == b.size());
+  issue();
+  charge_alu(a.size());
+  Vreg out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = m[i] ? a[i] : b[i];
+  return out;
+}
+
+Vreg Vpu::viota(std::size_t n) {
+  RAA_CHECK(n <= cfg_.mvl);
+  issue();
+  charge_alu(n);
+  Vreg out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = i;
+  return out;
+}
+
+Vreg Vpu::vbroadcast(Elem v, std::size_t n) {
+  RAA_CHECK(n <= cfg_.mvl);
+  issue();
+  charge_alu(n);
+  return Vreg(n, v);
+}
+
+Mask Vpu::vcmp_lt_s(const Vreg& a, Elem s) {
+  issue();
+  charge_alu(a.size());
+  Mask out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] < s ? 1 : 0;
+  return out;
+}
+
+Mask Vpu::vcmp_lt(const Vreg& a, const Vreg& b) {
+  RAA_CHECK(a.size() == b.size());
+  issue();
+  charge_alu(a.size());
+  Mask out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] < b[i] ? 1 : 0;
+  return out;
+}
+
+Mask Vpu::vmask_not(const Mask& m) {
+  issue();
+  charge_alu(m.size());
+  Mask out(m.size());
+  for (std::size_t i = 0; i < m.size(); ++i) out[i] = m[i] ? 0 : 1;
+  return out;
+}
+
+std::size_t Vpu::vmask_popcount(const Mask& m) {
+  issue();
+  charge_alu(m.size());
+  sync();  // result feeds scalar control flow
+  std::size_t n = 0;
+  for (const auto b : m) n += (b != 0);
+  return n;
+}
+
+Vreg Vpu::vcompress(const Vreg& a, const Mask& m) {
+  RAA_CHECK(a.size() == m.size());
+  issue();
+  charge_alu(a.size());
+  Vreg out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (m[i]) out.push_back(a[i]);
+  return out;
+}
+
+Vreg Vpu::vpermute(const Vreg& a, const Vreg& idx) {
+  issue();
+  charge_alu(idx.size());
+  Vreg out(idx.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    RAA_CHECK(idx[i] < a.size());
+    out[i] = a[idx[i]];
+  }
+  return out;
+}
+
+Elem Vpu::vreduce_add(const Vreg& a) {
+  issue();
+  charge_alu(a.size());
+  sync();
+  Elem s = 0;
+  for (const Elem v : a) s += v;
+  return s;
+}
+
+Elem Vpu::vreduce_max(const Vreg& a) {
+  issue();
+  charge_alu(a.size());
+  sync();
+  Elem s = 0;
+  for (const Elem v : a) s = std::max(s, v);
+  return s;
+}
+
+Vreg Vpu::vpi(const Vreg& a) {
+  issue();
+  charge_vpi(a.size());
+  Vreg out(a.size());
+  std::unordered_map<Elem, Elem> seen;
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = seen[a[i]]++;
+  return out;
+}
+
+Mask Vpu::vlu(const Vreg& a) {
+  issue();
+  charge_vpi(a.size());
+  Mask out(a.size(), 0);
+  std::unordered_map<Elem, std::size_t> last;
+  for (std::size_t i = 0; i < a.size(); ++i) last[a[i]] = i;
+  for (const auto& [value, index] : last) out[index] = 1;
+  return out;
+}
+
+}  // namespace raa::vec

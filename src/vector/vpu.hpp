@@ -1,0 +1,143 @@
+#pragma once
+/// \file vpu.hpp
+/// Functional + timing simulator of the vector processor of §3.2, including
+/// the two ISA extensions the paper proposes for VSR sort:
+///
+///   * VPI (vector prior instances): out[i] = |{ j < i : in[j] == in[i] }|
+///   * VLU (vector last unique):     mask[i] = (no j > i has in[j] == in[i])
+///
+/// Timing model. The machine is a classic vector pipeline with configurable
+/// maximum vector length (MVL) and parallel lanes. Instructions execute in
+/// *chained blocks*: within a block (ended by sync(), which models a scalar
+/// dependency), execution overlaps perfectly and the block's duration is
+/// the maximum over functional-unit classes of their total occupancy:
+///
+///   * lane ALUs:          ceil(VL/lanes) per arithmetic/logic instruction;
+///   * memory port:        ceil(VL/lanes) per unit-stride access,
+///                         VL/indexed_tput per gather/scatter (indexed
+///                         accesses serialise through the address/conflict
+///                         pipeline; indexed_tput grows sub-linearly with
+///                         lanes);
+///   * VPI/VLU unit:       VL (serial variant) or 2*ceil(VL/lanes)
+///                         (parallel variant) — the paper proposes both.
+///
+/// Each instruction additionally pays an issue slot, and the first memory
+/// instruction of a block pays the memory latency once (covered thereafter
+/// by chaining).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace raa::vec {
+
+using Elem = std::uint64_t;
+using Vreg = std::vector<Elem>;
+using Mask = std::vector<std::uint8_t>;
+
+/// Machine configuration (the Figure 3 sweep varies mvl and lanes).
+struct VpuConfig {
+  unsigned mvl = 64;
+  unsigned lanes = 4;
+  bool parallel_vpi = true;  ///< parallel VPI/VLU hardware variant
+  unsigned issue_cycles = 1;
+  unsigned mem_latency = 20;
+
+  /// Indexed-access throughput (elements/cycle): conflict detection limits
+  /// scaling, modelled as ceil(lanes/2) with a floor of 1.
+  unsigned indexed_tput() const { return lanes >= 2 ? lanes / 2 : 1; }
+};
+
+/// Cycle accounting for one execution (see file comment).
+class Vpu {
+ public:
+  explicit Vpu(VpuConfig config) : cfg_(config) {
+    RAA_CHECK(cfg_.mvl > 0 && cfg_.lanes > 0);
+  }
+
+  const VpuConfig& config() const noexcept { return cfg_; }
+  unsigned mvl() const noexcept { return cfg_.mvl; }
+
+  /// Close the current chained block (scalar dependency / loop boundary).
+  void sync();
+
+  /// Total cycles including any open block.
+  std::uint64_t cycles() const;
+
+  std::uint64_t instructions() const noexcept { return instructions_; }
+
+  /// Charge scalar-core work interleaved with vector execution (loop
+  /// bookkeeping, pointer updates); serialises with the current block.
+  void scalar_work(std::uint64_t cycles_);
+
+  // --- memory ---
+  Vreg vload(const Elem* base, std::size_t n);
+  void vstore(Elem* base, const Vreg& v);
+  Vreg vgather(const Elem* base, const Vreg& idx);
+  void vscatter(Elem* base, const Vreg& idx, const Vreg& val);
+  /// Masked scatter: only elements with mask[i] != 0 are written.
+  void vscatter_masked(Elem* base, const Vreg& idx, const Vreg& val,
+                       const Mask& mask);
+
+  // --- arithmetic / logic (element-wise) ---
+  Vreg vadd(const Vreg& a, const Vreg& b);
+  Vreg vadd_s(const Vreg& a, Elem s);
+  Vreg vsub(const Vreg& a, const Vreg& b);
+  Vreg vand_s(const Vreg& a, Elem s);
+  Vreg vshr_s(const Vreg& a, unsigned s);
+  Vreg vshl_s(const Vreg& a, unsigned s);
+  Vreg vmin(const Vreg& a, const Vreg& b);
+  Vreg vmax(const Vreg& a, const Vreg& b);
+  Vreg vselect(const Mask& m, const Vreg& a, const Vreg& b);
+  Vreg viota(std::size_t n);
+  Vreg vbroadcast(Elem v, std::size_t n);
+  Vreg vxor_s(const Vreg& a, Elem s);
+
+  // --- comparisons / masks ---
+  Mask vcmp_lt_s(const Vreg& a, Elem s);
+  Mask vcmp_lt(const Vreg& a, const Vreg& b);
+  Mask vmask_not(const Mask& m);
+  /// Population count of a mask (returns to a scalar register: syncs).
+  std::size_t vmask_popcount(const Mask& m);
+
+  // --- permutation ---
+  Vreg vcompress(const Vreg& a, const Mask& m);
+  Vreg vpermute(const Vreg& a, const Vreg& idx);  ///< in-register shuffle
+
+  // --- reductions (return to scalar: sync) ---
+  Elem vreduce_add(const Vreg& a);
+  Elem vreduce_max(const Vreg& a);
+
+  // --- the proposed instructions (§3.2) ---
+  /// Vector Prior Instances: "each element of the output asserts exactly
+  /// how many instances of a value in the corresponding element of the
+  /// input register have been seen before."
+  Vreg vpi(const Vreg& a);
+  /// Vector Last Unique: "a vector mask that marks the last instance of any
+  /// particular value found."
+  Mask vlu(const Vreg& a);
+
+ private:
+  void charge_alu(std::size_t n);
+  void charge_mem_unit(std::size_t n);
+  void charge_mem_indexed(std::size_t n);
+  void charge_vpi(std::size_t n);
+  void issue();
+  std::uint64_t lanes_time(std::size_t n) const {
+    return (n + cfg_.lanes - 1) / cfg_.lanes;
+  }
+
+  VpuConfig cfg_;
+  std::uint64_t done_cycles_ = 0;  ///< closed blocks
+  std::uint64_t instructions_ = 0;
+
+  // Open-block resource occupancy.
+  std::uint64_t blk_issue_ = 0;
+  std::uint64_t blk_alu_ = 0;
+  std::uint64_t blk_mem_ = 0;
+  std::uint64_t blk_vpi_ = 0;
+  bool blk_has_mem_ = false;
+};
+
+}  // namespace raa::vec

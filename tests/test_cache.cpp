@@ -1,0 +1,122 @@
+// Unit tests for the set-associative cache model: set mapping, LRU order,
+// eviction/dirty victims, index_shift for banked caches.
+#include <gtest/gtest.h>
+
+#include "memsim/cache.hpp"
+
+namespace {
+
+using raa::mem::Cache;
+using raa::mem::LineState;
+
+constexpr unsigned kLine = 64;
+
+TEST(Cache, Geometry) {
+  const Cache c{8 * 1024, 4, kLine};
+  EXPECT_EQ(c.sets(), 32u);
+  EXPECT_EQ(c.assoc(), 4u);
+}
+
+TEST(Cache, MissThenHit) {
+  Cache c{1024, 2, kLine};
+  EXPECT_EQ(c.access(0), LineState::invalid);
+  c.insert(0, LineState::shared, 7);
+  EXPECT_EQ(c.access(0), LineState::shared);
+  EXPECT_EQ(c.value(0), 7u);
+}
+
+TEST(Cache, SameSetConflictEvictsLru) {
+  // 1 KiB, 2-way, 64B lines -> 8 sets. Lines 0, 8*64, 16*64 share set 0.
+  Cache c{1024, 2, kLine};
+  const std::uint64_t a = 0, b = 8 * kLine, d = 16 * kLine;
+  c.insert(a, LineState::shared, 1);
+  c.insert(b, LineState::shared, 2);
+  c.access(a);  // make b the LRU
+  const auto victim = c.insert(d, LineState::shared, 3);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->line_addr, b);
+  EXPECT_FALSE(victim->dirty);
+  EXPECT_TRUE(c.contains(a));
+  EXPECT_TRUE(c.contains(d));
+  EXPECT_FALSE(c.contains(b));
+}
+
+TEST(Cache, DirtyVictimCarriesValue) {
+  Cache c{1024, 2, kLine};
+  c.insert(0, LineState::modified, 42);
+  c.insert(8 * kLine, LineState::shared, 1);
+  const auto victim = c.insert(16 * kLine, LineState::shared, 2);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->line_addr, 0u);
+  EXPECT_TRUE(victim->dirty);
+  EXPECT_EQ(victim->value, 42u);
+}
+
+TEST(Cache, InsertPrefersInvalidWay) {
+  Cache c{1024, 2, kLine};
+  c.insert(0, LineState::shared, 1);
+  // Second way of the set is free; no victim.
+  EXPECT_FALSE(c.insert(8 * kLine, LineState::shared, 2).has_value());
+}
+
+TEST(Cache, InvalidateRemovesLine) {
+  Cache c{1024, 2, kLine};
+  c.insert(0, LineState::modified, 9);
+  const auto dropped = c.invalidate(0);
+  ASSERT_TRUE(dropped.has_value());
+  EXPECT_TRUE(dropped->dirty);
+  EXPECT_EQ(dropped->value, 9u);
+  EXPECT_FALSE(c.contains(0));
+  EXPECT_FALSE(c.invalidate(0).has_value());  // idempotent
+}
+
+TEST(Cache, StateTransitions) {
+  Cache c{1024, 2, kLine};
+  c.insert(0, LineState::shared, 1);
+  c.set_state(0, LineState::modified);
+  EXPECT_EQ(c.state(0), LineState::modified);
+  c.set_value(0, 5);
+  EXPECT_EQ(c.value(0), 5u);
+}
+
+TEST(Cache, OccupancyTracksResidentLines) {
+  Cache c{1024, 2, kLine};
+  EXPECT_EQ(c.occupancy(), 0u);
+  c.insert(0, LineState::shared, 0);
+  c.insert(64, LineState::shared, 0);
+  EXPECT_EQ(c.occupancy(), 2u);
+  c.invalidate(0);
+  EXPECT_EQ(c.occupancy(), 1u);
+}
+
+TEST(Cache, HashedIndexSpreadsStridedLines) {
+  // A bank that only sees every 8th line (stride == set count): without
+  // hashing everything aliases into set 0 (2-way keeps only 2 of 16 lines);
+  // with index hashing the lines spread across sets.
+  Cache flat{1024, 2, kLine, /*hashed_index=*/false};
+  Cache hashed{1024, 2, kLine, /*hashed_index=*/true};
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    flat.insert(i * 8 * kLine, LineState::shared, i);
+    hashed.insert(i * 8 * kLine, LineState::shared, i);
+  }
+  EXPECT_EQ(flat.occupancy(), 2u);
+  EXPECT_GT(hashed.occupancy(), 8u);
+}
+
+TEST(Cache, FullAssocSweepParam) {
+  for (const unsigned assoc : {1u, 2u, 4u, 8u}) {
+    Cache c{4096, assoc, kLine};
+    const unsigned sets = c.sets();
+    // Fill one set completely, then one more insert must evict.
+    for (unsigned i = 0; i < assoc; ++i)
+      c.insert(static_cast<std::uint64_t>(i) * sets * kLine,
+               LineState::shared, i);
+    const auto victim = c.insert(
+        static_cast<std::uint64_t>(assoc) * sets * kLine, LineState::shared,
+        99);
+    EXPECT_TRUE(victim.has_value()) << "assoc=" << assoc;
+    EXPECT_EQ(victim->line_addr, 0u) << "LRU should be the first insert";
+  }
+}
+
+}  // namespace

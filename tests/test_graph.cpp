@@ -1,0 +1,192 @@
+// Tests for the Task Dependency Graph: topological order, bottom/top levels,
+// critical-path analyses and the synthetic graph builders used by the §3.1
+// experiments.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "runtime/graph.hpp"
+
+namespace {
+
+using raa::tdg::Graph;
+using raa::tdg::NodeId;
+using raa::tdg::Synthetic;
+
+Graph diamond() {
+  // a(1) -> b(2), c(5); b,c -> d(1).  Critical path: a-c-d = 7.
+  Graph g;
+  const auto a = g.add_node(1.0, "a");
+  const auto b = g.add_node(2.0, "b");
+  const auto c = g.add_node(5.0, "c");
+  const auto d = g.add_node(1.0, "d");
+  g.add_edge(a, b);
+  g.add_edge(a, c);
+  g.add_edge(b, d);
+  g.add_edge(c, d);
+  return g;
+}
+
+TEST(Graph, CountsNodesAndEdges) {
+  const Graph g = diamond();
+  EXPECT_EQ(g.node_count(), 4u);
+  EXPECT_EQ(g.edge_count(), 4u);
+  EXPECT_DOUBLE_EQ(g.total_cost(), 9.0);
+}
+
+TEST(Graph, TopoOrderRespectsEdges) {
+  const Graph g = diamond();
+  const auto order = g.topo_order();
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<std::size_t> pos(4);
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (NodeId v = 0; v < 4; ++v)
+    for (const NodeId s : g.successors(v)) EXPECT_LT(pos[v], pos[s]);
+}
+
+TEST(Graph, CriticalPathOfDiamond) {
+  const Graph g = diamond();
+  EXPECT_DOUBLE_EQ(g.critical_path_length(), 7.0);
+  const auto path = g.critical_path();
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[0], 0u);  // a
+  EXPECT_EQ(path[1], 2u);  // c
+  EXPECT_EQ(path[2], 3u);  // d
+}
+
+TEST(Graph, CriticalNodesMarksOnlyLongestPath) {
+  const Graph g = diamond();
+  const auto crit = g.critical_nodes();
+  EXPECT_TRUE(crit[0]);
+  EXPECT_FALSE(crit[1]);  // b is slack
+  EXPECT_TRUE(crit[2]);
+  EXPECT_TRUE(crit[3]);
+}
+
+TEST(Graph, BottomAndTopLevels) {
+  const Graph g = diamond();
+  const auto b = g.bottom_levels();
+  EXPECT_DOUBLE_EQ(b[3], 1.0);
+  EXPECT_DOUBLE_EQ(b[1], 3.0);
+  EXPECT_DOUBLE_EQ(b[2], 6.0);
+  EXPECT_DOUBLE_EQ(b[0], 7.0);
+  const auto t = g.top_levels();
+  EXPECT_DOUBLE_EQ(t[0], 0.0);
+  EXPECT_DOUBLE_EQ(t[1], 1.0);
+  EXPECT_DOUBLE_EQ(t[2], 1.0);
+  EXPECT_DOUBLE_EQ(t[3], 6.0);
+}
+
+TEST(Graph, ParallelismOfForkJoin) {
+  const Graph g = Synthetic::fork_join(10, 5.0, 1.0);
+  // total = 2*1 + 10*5 = 52; cp = 1 + 5 + 1 = 7.
+  EXPECT_DOUBLE_EQ(g.total_cost(), 52.0);
+  EXPECT_DOUBLE_EQ(g.critical_path_length(), 7.0);
+  EXPECT_NEAR(g.parallelism(), 52.0 / 7.0, 1e-12);
+}
+
+TEST(Graph, CycleDetection) {
+  Graph g;
+  const auto a = g.add_node(1.0);
+  const auto b = g.add_node(1.0);
+  g.add_edge(a, b);
+  g.add_edge(b, a);
+  EXPECT_THROW(g.topo_order(), std::logic_error);
+}
+
+TEST(Graph, SelfEdgeRejected) {
+  Graph g;
+  const auto a = g.add_node(1.0);
+  EXPECT_THROW(g.add_edge(a, a), std::logic_error);
+}
+
+TEST(Graph, OutOfRangeEdgeRejected) {
+  Graph g;
+  g.add_node(1.0);
+  EXPECT_THROW(g.add_edge(0, 5), std::logic_error);
+}
+
+TEST(Graph, EmptyGraphAnalyses) {
+  const Graph g;
+  EXPECT_DOUBLE_EQ(g.critical_path_length(), 0.0);
+  EXPECT_TRUE(g.critical_path().empty());
+  EXPECT_DOUBLE_EQ(g.parallelism(), 0.0);
+}
+
+TEST(Graph, DotContainsAllNodes) {
+  const Graph g = diamond();
+  const std::string dot = g.to_dot();
+  for (const char* name : {"\"a", "\"b", "\"c", "\"d"})
+    EXPECT_NE(dot.find(name), std::string::npos) << name;
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+}
+
+TEST(Synthetic, ChainCriticalPathEqualsTotal) {
+  const Graph g = Synthetic::chain(20, 2.0);
+  EXPECT_EQ(g.node_count(), 20u);
+  EXPECT_EQ(g.edge_count(), 19u);
+  EXPECT_DOUBLE_EQ(g.critical_path_length(), 40.0);
+  EXPECT_DOUBLE_EQ(g.parallelism(), 1.0);
+}
+
+TEST(Synthetic, CholeskyTaskCounts) {
+  // For t tiles: potrf = t, trsm = t(t-1)/2, syrk = t(t-1)/2,
+  // gemm = t(t-1)(t-2)/6.
+  const std::size_t t = 5;
+  const Graph g = Synthetic::cholesky(t);
+  const std::size_t expected =
+      t + t * (t - 1) / 2 + t * (t - 1) / 2 + t * (t - 1) * (t - 2) / 6;
+  EXPECT_EQ(g.node_count(), expected);
+  EXPECT_NO_THROW(g.topo_order());
+  EXPECT_GT(g.parallelism(), 1.5);  // Cholesky has real task parallelism
+}
+
+TEST(Synthetic, CholeskyPotrfChainOrdered) {
+  const Graph g = Synthetic::cholesky(4);
+  // potrf_k must precede potrf_{k+1} transitively; check via topo position.
+  const auto order = g.topo_order();
+  std::vector<std::size_t> pos(g.node_count());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  std::vector<std::size_t> potrf_pos;
+  for (const auto& n : g.nodes())
+    if (n.label.rfind("potrf", 0) == 0) potrf_pos.push_back(pos[n.id]);
+  ASSERT_EQ(potrf_pos.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(potrf_pos.begin(), potrf_pos.end()));
+}
+
+TEST(Synthetic, LayeredRandomDeterministic) {
+  const Graph a = Synthetic::layered_random(6, 8, 3, 1.0, 4.0, 99);
+  const Graph b = Synthetic::layered_random(6, 8, 3, 1.0, 4.0, 99);
+  ASSERT_EQ(a.node_count(), b.node_count());
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (NodeId v = 0; v < a.node_count(); ++v) {
+    EXPECT_DOUBLE_EQ(a.node(v).cost, b.node(v).cost);
+    EXPECT_EQ(a.successors(v), b.successors(v));
+  }
+}
+
+TEST(Synthetic, LayeredRandomEdgesOnlyBetweenAdjacentLayers) {
+  const std::size_t layers = 5, width = 4;
+  const Graph g = Synthetic::layered_random(layers, width, 2, 1.0, 2.0, 7);
+  ASSERT_EQ(g.node_count(), layers * width);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const std::size_t lv = v / width;
+    for (const NodeId s : g.successors(v)) EXPECT_EQ(s / width, lv + 1);
+  }
+}
+
+TEST(Synthetic, PipelineWavefront) {
+  const Graph g = Synthetic::pipeline(3, 4, 1.0);
+  EXPECT_EQ(g.node_count(), 12u);
+  // cp = frames + stages - 1 steps of cost 1.
+  EXPECT_DOUBLE_EQ(g.critical_path_length(), 6.0);
+}
+
+TEST(Synthetic, ForkJoinDegrees) {
+  const Graph g = Synthetic::fork_join(6, 2.0, 1.0);
+  EXPECT_EQ(g.successors(0).size(), 6u);   // fork
+  EXPECT_EQ(g.predecessors(1).size(), 6u); // join
+}
+
+}  // namespace

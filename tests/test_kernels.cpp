@@ -1,0 +1,291 @@
+// Tests for the workload generators: the scripted-program interpreter, the
+// address-space layout invariants (chunk alignment, region disjointness),
+// and end-to-end runs of every NAS-like kernel under both hierarchy modes
+// (the Figure 1 experiment at test scale).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "kernels/nas.hpp"
+#include "kernels/program.hpp"
+#include "memsim/system.hpp"
+
+namespace {
+
+using raa::kern::AddressSpace;
+using raa::kern::nas_kernels;
+using raa::kern::Phase;
+using raa::kern::ScriptedProgram;
+using raa::kern::Stream;
+using raa::kern::StreamKind;
+using raa::mem::Access;
+using raa::mem::HierarchyMode;
+using raa::mem::Metrics;
+using raa::mem::RefClass;
+using raa::mem::Region;
+using raa::mem::System;
+using raa::mem::SystemConfig;
+using raa::mem::Workload;
+
+SystemConfig test_cfg() {
+  SystemConfig cfg;
+  cfg.tiles = 16;
+  cfg.mesh_x = 4;
+  cfg.mesh_y = 4;
+  return cfg;
+}
+
+TEST(ScriptedProgram, LinearStreamAddresses) {
+  Workload w;
+  AddressSpace as{4096};
+  const Region& r = as.add(w, "r", 4096, RefClass::strided);
+  std::vector<Phase> ph;
+  ph.push_back(Phase{
+      .streams = {Stream{.region = &r, .start = 64, .stride = 8}},
+      .iterations = 3,
+      .gap_cycles = 5});
+  ScriptedProgram p{std::move(ph), 1};
+  Access a;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(p.next(a));
+    EXPECT_EQ(a.addr, r.base + 64 + static_cast<std::uint64_t>(i) * 8);
+    EXPECT_FALSE(a.is_store);
+    EXPECT_EQ(a.gap_cycles, 5u);
+  }
+  EXPECT_FALSE(p.next(a));
+}
+
+TEST(ScriptedProgram, ZipAlternatesStreams) {
+  Workload w;
+  AddressSpace as{4096};
+  const Region& r1 = as.add(w, "a", 4096, RefClass::strided);
+  const Region& r2 = as.add(w, "b", 4096, RefClass::strided);
+  std::vector<Phase> ph;
+  ph.push_back(Phase{
+      .streams = {Stream{.region = &r1, .stride = 8},
+                  Stream{.region = &r2, .store = true, .stride = 8}},
+      .iterations = 2,
+      .gap_cycles = 0});
+  ScriptedProgram p{std::move(ph), 1};
+  Access a;
+  ASSERT_TRUE(p.next(a));
+  EXPECT_EQ(a.addr, r1.base);
+  ASSERT_TRUE(p.next(a));
+  EXPECT_EQ(a.addr, r2.base);
+  EXPECT_TRUE(a.is_store);
+  ASSERT_TRUE(p.next(a));
+  EXPECT_EQ(a.addr, r1.base + 8);
+  ASSERT_TRUE(p.next(a));
+  EXPECT_EQ(a.addr, r2.base + 8);
+  EXPECT_FALSE(p.next(a));
+}
+
+TEST(ScriptedProgram, RmwEmitsLoadStorePair) {
+  Workload w;
+  AddressSpace as{4096};
+  const Region& r = as.add(w, "r", 4096, RefClass::random_unknown);
+  std::vector<Phase> ph;
+  ph.push_back(Phase{
+      .streams = {Stream{.region = &r, .kind = StreamKind::random_rmw,
+                         .ref = RefClass::random_unknown, .elem_bytes = 8}},
+      .iterations = 4,
+      .gap_cycles = 2});
+  ScriptedProgram p{std::move(ph), 7};
+  Access a;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(p.next(a));
+    EXPECT_FALSE(a.is_store);
+    const auto addr = a.addr;
+    ASSERT_TRUE(p.next(a));
+    EXPECT_TRUE(a.is_store);
+    EXPECT_EQ(a.addr, addr);
+    EXPECT_EQ(a.gap_cycles, 0u);  // back-to-back with the load
+  }
+  EXPECT_FALSE(p.next(a));
+}
+
+TEST(ScriptedProgram, RandomStaysInSlice) {
+  Workload w;
+  AddressSpace as{4096};
+  const Region& r = as.add(w, "r", 64 * 1024, RefClass::random_noalias);
+  std::vector<Phase> ph;
+  ph.push_back(Phase{
+      .streams = {Stream{.region = &r, .kind = StreamKind::random,
+                         .ref = RefClass::random_noalias,
+                         .slice_bytes = 4096, .slice_base = 8192,
+                         .elem_bytes = 8}},
+      .iterations = 500,
+      .gap_cycles = 0});
+  ScriptedProgram p{std::move(ph), 3};
+  Access a;
+  while (p.next(a)) {
+    EXPECT_GE(a.addr, r.base + 8192);
+    EXPECT_LT(a.addr, r.base + 8192 + 4096);
+  }
+}
+
+TEST(ScriptedProgram, DeterministicInSeed) {
+  Workload w;
+  AddressSpace as{4096};
+  const Region& r = as.add(w, "r", 64 * 1024, RefClass::random_noalias);
+  const auto make = [&] {
+    std::vector<Phase> ph;
+    ph.push_back(Phase{
+        .streams = {Stream{.region = &r, .kind = StreamKind::random,
+                           .ref = RefClass::random_noalias, .elem_bytes = 8}},
+        .iterations = 100,
+        .gap_cycles = 0});
+    return ScriptedProgram{std::move(ph), 11};
+  };
+  auto p1 = make();
+  auto p2 = make();
+  Access a1, a2;
+  while (p1.next(a1)) {
+    ASSERT_TRUE(p2.next(a2));
+    EXPECT_EQ(a1.addr, a2.addr);
+  }
+}
+
+TEST(AddressSpace, RegionsDisjointAndAligned) {
+  Workload w;
+  AddressSpace as{4096};
+  as.add(w, "a", 1000, RefClass::strided);
+  as.add(w, "b", 5000, RefClass::strided);
+  as.add(w, "c", 4096, RefClass::strided);
+  for (const auto& r : w.regions) EXPECT_EQ(r.base % 4096, 0u) << r.name;
+  for (std::size_t i = 0; i < w.regions.size(); ++i)
+    for (std::size_t j = i + 1; j < w.regions.size(); ++j) {
+      const auto& a = w.regions[i];
+      const auto& b = w.regions[j];
+      EXPECT_TRUE(a.base + a.bytes <= b.base || b.base + b.bytes <= a.base);
+    }
+}
+
+// --- per-kernel structure checks ---------------------------------------
+
+TEST(NasKernels, AllSixPresentInPaperOrder) {
+  const auto& ks = nas_kernels();
+  ASSERT_EQ(ks.size(), 6u);
+  EXPECT_EQ(ks[0].name, "CG");
+  EXPECT_EQ(ks[1].name, "EP");
+  EXPECT_EQ(ks[2].name, "FT");
+  EXPECT_EQ(ks[3].name, "IS");
+  EXPECT_EQ(ks[4].name, "MG");
+  EXPECT_EQ(ks[5].name, "SP");
+}
+
+TEST(NasKernels, OneProgramPerTile) {
+  const SystemConfig cfg = test_cfg();
+  for (const auto& k : nas_kernels()) {
+    const Workload w = k.make(cfg, 1);
+    EXPECT_EQ(w.programs.size(), cfg.tiles) << k.name;
+    EXPECT_FALSE(w.regions.empty()) << k.name;
+  }
+}
+
+TEST(NasKernels, CgHasGatherAndStridedStreams) {
+  const SystemConfig cfg = test_cfg();
+  Workload w = raa::kern::make_cg(cfg, 1);
+  std::set<RefClass> classes;
+  Access a;
+  int n = 0;
+  while (w.programs[0]->next(a) && n++ < 20000) classes.insert(a.ref);
+  EXPECT_TRUE(classes.contains(RefClass::strided));
+  EXPECT_TRUE(classes.contains(RefClass::random_noalias));
+}
+
+TEST(NasKernels, IsHasUnknownAliasUpdates) {
+  const SystemConfig cfg = test_cfg();
+  Workload w = raa::kern::make_is(cfg, 1);
+  bool unknown_store = false;
+  Access a;
+  int n = 0;
+  while (w.programs[0]->next(a) && n++ < 20000)
+    unknown_store |= (a.ref == RefClass::random_unknown && a.is_store);
+  EXPECT_TRUE(unknown_store);
+}
+
+TEST(NasKernels, EpIsComputeBound) {
+  const SystemConfig cfg = test_cfg();
+  Workload w = raa::kern::make_ep(cfg, 1);
+  std::uint64_t gap = 0, accesses = 0;
+  Access a;
+  while (w.programs[0]->next(a)) {
+    gap += a.gap_cycles;
+    ++accesses;
+  }
+  // Compute cycles dominate: > 10 gap cycles per access on average.
+  EXPECT_GT(gap, 10 * accesses);
+}
+
+// --- end-to-end Figure 1 shape at test scale ----------------------------
+
+struct KernelRun {
+  std::string name;
+  Metrics base, hybrid;
+};
+
+KernelRun run_both(const std::string& name, unsigned scale) {
+  const SystemConfig cfg = test_cfg();
+  const auto& ks = nas_kernels();
+  const auto it = std::find_if(ks.begin(), ks.end(),
+                               [&](const auto& k) { return k.name == name; });
+  RAA_CHECK(it != ks.end());
+  KernelRun out;
+  out.name = name;
+  {
+    Workload w = it->make(cfg, scale);
+    System sys{cfg, HierarchyMode::cache_only};
+    out.base = sys.run(w);
+  }
+  {
+    Workload w = it->make(cfg, scale);
+    System sys{cfg, HierarchyMode::hybrid};
+    out.hybrid = sys.run(w);
+  }
+  return out;
+}
+
+class NasEndToEnd : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(NasEndToEnd, RunsCoherentlyInBothModes) {
+  // The simulator's internal oracle throws on any stale value, so simply
+  // completing both runs is a strong protocol check.
+  const KernelRun r = run_both(GetParam(), 1);
+  EXPECT_GT(r.base.accesses, 0u);
+  EXPECT_EQ(r.base.accesses, r.hybrid.accesses);
+  EXPECT_GT(r.base.cycles, 0.0);
+  EXPECT_GT(r.hybrid.cycles, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, NasEndToEnd,
+                         ::testing::Values("CG", "EP", "FT", "IS", "MG",
+                                           "SP"));
+
+TEST(NasEndToEnd, SpGainsMostEpUnchanged) {
+  const KernelRun sp = run_both("SP", 1);
+  const KernelRun ep = run_both("EP", 1);
+  // SP is stream-dominated: the hybrid hierarchy must win clearly.
+  EXPECT_GT(sp.base.cycles / sp.hybrid.cycles, 1.05);
+  EXPECT_GT(sp.base.noc_flit_hops / sp.hybrid.noc_flit_hops, 1.1);
+  // EP never touches the SPM: identical behaviour, no degradation.
+  EXPECT_NEAR(ep.base.cycles / ep.hybrid.cycles, 1.0, 1e-9);
+  EXPECT_EQ(ep.hybrid.spm_hits, 0u);
+}
+
+TEST(NasEndToEnd, HybridNeverDegradesTime) {
+  for (const char* name : {"CG", "FT", "IS", "MG", "SP"}) {
+    const KernelRun r = run_both(name, 1);
+    EXPECT_GE(r.base.cycles / r.hybrid.cycles, 0.99) << name;
+  }
+}
+
+TEST(NasEndToEnd, StridedKernelsUseDma) {
+  for (const char* name : {"CG", "FT", "MG", "SP"}) {
+    const KernelRun r = run_both(name, 1);
+    EXPECT_GT(r.hybrid.dma_transfers, 0u) << name;
+    EXPECT_GT(r.hybrid.spm_hits, 0u) << name;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,185 @@
+// Tests for criticality analysis and the RSU / software-DVFS governors:
+// turbo for critical tasks, power-budget enforcement, serialization cost of
+// the software mechanism, and the end-to-end §3.1 study harness.
+#include <gtest/gtest.h>
+
+#include "rsu/criticality.hpp"
+#include "rsu/rsu.hpp"
+#include "runtime/graph.hpp"
+#include "simcore/tdg_sim.hpp"
+
+namespace {
+
+using raa::rsu::critical_tasks;
+using raa::rsu::critical_work_fraction;
+using raa::rsu::CriticalityGovernor;
+using raa::rsu::rsu_hardware;
+using raa::rsu::run_criticality_study;
+using raa::rsu::software_dvfs;
+using raa::sim::MachineConfig;
+using raa::sim::replay;
+using raa::tdg::Graph;
+using raa::tdg::Synthetic;
+
+Graph diamond() {
+  Graph g;
+  const auto a = g.add_node(1.0, "a");
+  const auto b = g.add_node(2.0, "b");
+  const auto c = g.add_node(5.0, "c");
+  const auto d = g.add_node(1.0, "d");
+  g.add_edge(a, b);
+  g.add_edge(a, c);
+  g.add_edge(b, d);
+  g.add_edge(c, d);
+  return g;
+}
+
+TEST(Criticality, MarksLongestPathOnly) {
+  const auto mask = critical_tasks(diamond(), 0.0);
+  EXPECT_TRUE(mask[0]);
+  EXPECT_FALSE(mask[1]);
+  EXPECT_TRUE(mask[2]);
+  EXPECT_TRUE(mask[3]);
+}
+
+TEST(Criticality, SlackWidensTheBand) {
+  // b's path length is 4 of cp 7; slack >= 3/7 marks it too.
+  const auto tight = critical_tasks(diamond(), 0.20);
+  EXPECT_FALSE(tight[1]);
+  const auto loose = critical_tasks(diamond(), 0.45);
+  EXPECT_TRUE(loose[1]);
+}
+
+TEST(Criticality, ProgrammerHintIncluded) {
+  Graph g = diamond();
+  g.node(1).critical_hint = true;
+  const auto with_hint = critical_tasks(g, 0.0, true);
+  EXPECT_TRUE(with_hint[1]);
+  const auto without = critical_tasks(g, 0.0, false);
+  EXPECT_FALSE(without[1]);
+}
+
+TEST(Criticality, WorkFraction) {
+  const Graph g = diamond();
+  const auto mask = critical_tasks(g, 0.0);
+  EXPECT_NEAR(critical_work_fraction(g, mask), 7.0 / 9.0, 1e-12);
+}
+
+TEST(Criticality, ChainIsFullyCritical) {
+  const auto g = Synthetic::chain(5, 2.0);
+  const auto mask = critical_tasks(g, 0.0);
+  for (const bool m : mask) EXPECT_TRUE(m);
+}
+
+TEST(Governor, CriticalTasksGetTurboOthersLow) {
+  const Graph g = diamond();
+  // Generous budget: this test checks the frequency *policy* in isolation.
+  MachineConfig m{.cores = 2, .power_budget_w = 1000.0};
+  CriticalityGovernor gov{{.slack_fraction = 0.0, .reconfig = rsu_hardware()}};
+  const auto r = replay(g, m, raa::sim::priority_bottom_level(), &gov);
+  // a, c, d critical -> 2.4 GHz; b non-critical -> 1.6 GHz (one below nominal)
+  EXPECT_DOUBLE_EQ(r.timeline[0].op.freq_ghz, 2.4);
+  EXPECT_DOUBLE_EQ(r.timeline[1].op.freq_ghz, 1.6);
+  EXPECT_DOUBLE_EQ(r.timeline[2].op.freq_ghz, 2.4);
+  EXPECT_DOUBLE_EQ(r.timeline[3].op.freq_ghz, 2.4);
+}
+
+TEST(Governor, PowerBudgetDegradesSecondTurbo) {
+  // Two independent critical tasks on 2 cores with a budget that fits one
+  // turbo + one lowest-point core only.
+  Graph g;
+  g.add_node(100.0, "t0", true);
+  g.add_node(100.0, "t1", true);
+  MachineConfig m{.cores = 2};
+  const double turbo_w = m.power.busy_w(m.dvfs.highest());
+  const double lowest_w = m.power.busy_w(m.dvfs.lowest());
+  m.power_budget_w = turbo_w + lowest_w + 0.01;
+
+  CriticalityGovernor gov{{.slack_fraction = 0.0, .reconfig = rsu_hardware()}};
+  const auto r = replay(g, m, raa::sim::priority_fifo(), &gov);
+  EXPECT_DOUBLE_EQ(r.timeline[0].op.freq_ghz, 2.4);
+  EXPECT_DOUBLE_EQ(r.timeline[1].op.freq_ghz, 0.8);
+  EXPECT_GE(gov.budget_denials(), 1u);
+}
+
+TEST(Governor, BudgetNeverUpgradesNonCritical) {
+  // Non-critical tasks ask for `low`; even with budget to spare they must
+  // not be granted more than requested.
+  const auto g = Synthetic::fork_join(6, 10.0, 1000.0);
+  MachineConfig m{.cores = 4};
+  CriticalityGovernor gov{{.slack_fraction = 0.0}};
+  const auto r = replay(g, m, raa::sim::priority_bottom_level(), &gov);
+  for (const auto& p : r.timeline) {
+    if (!gov.critical_mask()[p.task]) {
+      EXPECT_LE(p.op.freq_ghz, 1.6);
+    }
+  }
+}
+
+TEST(Governor, SoftwareMechanismSerializesSwitches) {
+  // Wide fork-join: many cores switch "simultaneously"; the software path
+  // must queue them while the RSU path does not.
+  const auto g = Synthetic::fork_join(32, 1000.0, 10.0);
+  MachineConfig m{.cores = 32};
+
+  CriticalityGovernor sw{{.slack_fraction = 0.0, .reconfig = software_dvfs()}};
+  const auto r_sw = replay(g, m, raa::sim::priority_bottom_level(), &sw);
+
+  CriticalityGovernor hw{{.slack_fraction = 0.0, .reconfig = rsu_hardware()}};
+  const auto r_hw = replay(g, m, raa::sim::priority_bottom_level(), &hw);
+
+  EXPECT_GT(sw.reconfig_stall_ns(), hw.reconfig_stall_ns() * 5.0);
+  EXPECT_GE(r_sw.makespan_ns, r_hw.makespan_ns);
+}
+
+TEST(Governor, SoftwareOverheadGrowsWithCores) {
+  // The §3.1 scaling claim: per-switch effective cost rises with core count
+  // under the software mechanism.
+  double prev_stall_per_switch = 0.0;
+  for (const unsigned cores : {8u, 32u, 128u}) {
+    const auto g = Synthetic::fork_join(cores, 2000.0, 10.0);
+    MachineConfig m{.cores = cores};
+    CriticalityGovernor sw{
+        {.slack_fraction = 0.0, .reconfig = software_dvfs()}};
+    (void)replay(g, m, raa::sim::priority_bottom_level(), &sw);
+    const double per_switch =
+        sw.reconfig_stall_ns() / std::max<double>(1.0, static_cast<double>(
+            sw.reconfig_count()));
+    EXPECT_GT(per_switch, prev_stall_per_switch);
+    prev_stall_per_switch = per_switch;
+  }
+}
+
+TEST(Study, CholeskyOnManycoreImprovesPerfAndEdp) {
+  // The headline §3.1 configuration class: a dependency-rich,
+  // critical-path-bound TDG on a 32-core machine with realistic task sizes
+  // (~500 us). The criticality-aware RSU configuration must beat the static
+  // baseline on both makespan and EDP.
+  const auto g = Synthetic::cholesky(8, 1.0e6);
+  MachineConfig m{.cores = 32};
+  const auto study = run_criticality_study(g, m, 0.05);
+  EXPECT_GT(study.perf_improvement_rsu(), 0.0);
+  EXPECT_GT(study.edp_improvement_rsu(), 0.05);
+  // The RSU mechanism is at least as good as software DVFS.
+  EXPECT_LE(study.cats_rsu.makespan_ns,
+            study.cats_sw.makespan_ns * (1.0 + 1e-9));
+}
+
+TEST(Study, ResultRatiosConsistent) {
+  const auto g = Synthetic::layered_random(20, 48, 3, 500.0, 3000.0, 42);
+  MachineConfig m{.cores = 32};
+  const auto study = run_criticality_study(g, m, 0.05);
+  const double perf = study.perf_improvement_rsu();
+  EXPECT_NEAR(study.fifo_nominal.makespan_ns,
+              study.cats_rsu.makespan_ns * (1.0 + perf), 1e-6);
+}
+
+TEST(Governor, MaskMatchesGraphAnalysis) {
+  const auto g = Synthetic::cholesky(6);
+  MachineConfig m{.cores = 8};
+  CriticalityGovernor gov{{.slack_fraction = 0.0}};
+  (void)replay(g, m, raa::sim::priority_bottom_level(), &gov);
+  EXPECT_EQ(gov.critical_mask(), critical_tasks(g, 0.0));
+}
+
+}  // namespace

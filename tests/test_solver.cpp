@@ -1,0 +1,298 @@
+// Tests for the §4 resilient-CG stack: CSR construction and kernels, CG
+// convergence, DUE injection, and the exactness / ordering properties of
+// the four recovery schemes (Figure 4's qualitative claims).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "solver/cg.hpp"
+#include "solver/csr.hpp"
+
+namespace {
+
+using raa::solver::CgOptions;
+using raa::solver::CgResult;
+using raa::solver::Csr;
+using raa::solver::FaultSpec;
+using raa::solver::FaultTarget;
+using raa::solver::laplacian_2d;
+using raa::solver::laplacian_3d;
+using raa::solver::Recovery;
+using raa::solver::solve_cg;
+
+std::vector<double> ones(std::size_t n) { return std::vector<double>(n, 1.0); }
+
+TEST(Csr, Laplacian2dStructure) {
+  const Csr a = laplacian_2d(3, 3);
+  EXPECT_EQ(a.n, 9u);
+  // 9 diagonal + 2*(edges): 12 horizontal+vertical edges x2 = 24 -> 33.
+  EXPECT_EQ(a.nnz(), 33u);
+  // Corner row has 3 entries, centre row 5.
+  EXPECT_EQ(a.row_ptr[1] - a.row_ptr[0], 3u);
+  EXPECT_EQ(a.row_ptr[5] - a.row_ptr[4], 5u);
+}
+
+TEST(Csr, LaplacianIsSymmetric) {
+  const Csr a = laplacian_2d(5, 4);
+  // Check A == A^T entry-wise via dense mirror.
+  std::vector<std::vector<double>> dense(a.n, std::vector<double>(a.n, 0.0));
+  for (std::size_t r = 0; r < a.n; ++r)
+    for (std::size_t k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k)
+      dense[r][a.col[k]] = a.val[k];
+  for (std::size_t i = 0; i < a.n; ++i)
+    for (std::size_t j = 0; j < a.n; ++j)
+      EXPECT_DOUBLE_EQ(dense[i][j], dense[j][i]);
+}
+
+TEST(Csr, SpmvMatchesDense) {
+  const Csr a = laplacian_2d(4, 4);
+  std::vector<double> x(a.n);
+  for (std::size_t i = 0; i < a.n; ++i) x[i] = static_cast<double>(i + 1);
+  std::vector<double> y(a.n);
+  raa::solver::spmv(a, x, y);
+  // Row 5 (interior point of 4x4 grid: index 5 = (1,1)):
+  // 4*x[5] - x[1] - x[4] - x[6] - x[9].
+  EXPECT_DOUBLE_EQ(y[5], 4 * x[5] - x[1] - x[4] - x[6] - x[9]);
+}
+
+TEST(Csr, PartialSpmvMatchesFull) {
+  const Csr a = laplacian_2d(6, 5);
+  std::vector<double> x(a.n, 2.5);
+  std::vector<double> full(a.n), part(a.n, -1.0);
+  raa::solver::spmv(a, x, full);
+  raa::solver::spmv_rows(a, x, part, 10, 20);
+  for (std::size_t i = 10; i < 20; ++i) EXPECT_DOUBLE_EQ(part[i], full[i]);
+}
+
+TEST(Csr, PrincipalSubmatrix) {
+  const Csr a = laplacian_2d(4, 4);
+  const Csr s = raa::solver::principal_submatrix(a, 4, 12);
+  EXPECT_EQ(s.n, 8u);
+  // Diagonal preserved.
+  for (std::size_t r = 0; r < s.n; ++r) {
+    double diag = 0.0;
+    for (std::size_t k = s.row_ptr[r]; k < s.row_ptr[r + 1]; ++k)
+      if (s.col[k] == r) diag = s.val[k];
+    EXPECT_DOUBLE_EQ(diag, 4.0);
+  }
+}
+
+TEST(Csr, Blas1Helpers) {
+  std::vector<double> a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_DOUBLE_EQ(raa::solver::dot(a, b), 32.0);
+  raa::solver::axpy(2.0, a, b);
+  EXPECT_EQ(b, (std::vector<double>{6, 9, 12}));
+  raa::solver::xpby(a, 0.5, b);
+  EXPECT_EQ(b, (std::vector<double>{4, 6.5, 9}));
+  EXPECT_DOUBLE_EQ(raa::solver::norm2(std::vector<double>{3, 4}), 5.0);
+}
+
+TEST(Cg, ConvergesOn2dPoisson) {
+  const Csr a = laplacian_2d(32, 32);
+  const auto b = ones(a.n);
+  std::vector<double> x;
+  const CgResult res = solve_cg(a, b, x, CgOptions{.rel_tolerance = 1e-9});
+  EXPECT_TRUE(res.converged);
+  // Verify the solution: || b - A x || / || b || <= ~1e-9.
+  std::vector<double> ax(a.n);
+  raa::solver::spmv(a, x, ax);
+  raa::solver::axpy(-1.0, b, ax);
+  EXPECT_LT(raa::solver::norm2(ax) / raa::solver::norm2(b), 1e-8);
+}
+
+TEST(Cg, ConvergesOn3dPoisson) {
+  const Csr a = laplacian_3d(8, 8, 8);
+  const auto b = ones(a.n);
+  std::vector<double> x;
+  const CgResult res = solve_cg(a, b, x, CgOptions{.rel_tolerance = 1e-8});
+  EXPECT_TRUE(res.converged);
+}
+
+TEST(Cg, TraceIsMonotoneInTime) {
+  const Csr a = laplacian_2d(24, 24);
+  std::vector<double> x;
+  const CgResult res = solve_cg(a, ones(a.n), x, CgOptions{});
+  ASSERT_GT(res.trace.size(), 2u);
+  for (std::size_t i = 1; i < res.trace.size(); ++i)
+    EXPECT_GE(res.trace[i].time_s, res.trace[i - 1].time_s);
+  EXPECT_LT(res.trace.back().rel_residual, res.trace.front().rel_residual);
+}
+
+TEST(Cg, InnerCgSolvesSmallSystem) {
+  const Csr a = laplacian_2d(8, 8);
+  const auto b = ones(a.n);
+  std::vector<double> x(a.n, 0.0);
+  const std::size_t it = raa::solver::inner_cg(a, b, x, 1e-12, 1000);
+  EXPECT_GT(it, 0u);
+  std::vector<double> ax(a.n);
+  raa::solver::spmv(a, x, ax);
+  raa::solver::axpy(-1.0, b, ax);
+  EXPECT_LT(raa::solver::norm2(ax), 1e-10);
+}
+
+// --- fault injection + recovery -----------------------------------------
+
+CgOptions faulty(Recovery rec, std::size_t inject_at,
+                 FaultTarget target = FaultTarget::x) {
+  return CgOptions{
+      .max_iterations = 20000,
+      .rel_tolerance = 1e-8,
+      .recovery = rec,
+      .checkpoint_interval = 50,
+      .fault = FaultSpec{.enabled = true,
+                         .iteration = inject_at,
+                         .target = target,
+                         .block = 3,
+                         .num_blocks = 16},
+  };
+}
+
+struct Fig4Runs {
+  CgResult ideal, ckpt, restart, feir, afeir;
+};
+
+Fig4Runs run_fig4(std::size_t grid = 40, std::size_t inject_at = 60) {
+  const Csr a = laplacian_2d(grid, grid);
+  const auto b = ones(a.n);
+  Fig4Runs runs;
+  std::vector<double> x;
+  runs.ideal = solve_cg(a, b, x, CgOptions{.rel_tolerance = 1e-8});
+  runs.ckpt = solve_cg(a, b, x, faulty(Recovery::checkpoint, inject_at));
+  runs.restart = solve_cg(a, b, x, faulty(Recovery::lossy_restart, inject_at));
+  runs.feir = solve_cg(a, b, x, faulty(Recovery::feir, inject_at));
+  runs.afeir = solve_cg(a, b, x, faulty(Recovery::afeir, inject_at));
+  return runs;
+}
+
+TEST(Recovery, AllSchemesConverge) {
+  const Fig4Runs r = run_fig4();
+  EXPECT_TRUE(r.ideal.converged);
+  EXPECT_TRUE(r.ckpt.converged);
+  EXPECT_TRUE(r.restart.converged);
+  EXPECT_TRUE(r.feir.converged);
+  EXPECT_TRUE(r.afeir.converged);
+}
+
+TEST(Recovery, Figure4Ordering) {
+  // The paper's qualitative result: ideal <= afeir <= feir < {ckpt, restart}.
+  const Fig4Runs r = run_fig4();
+  EXPECT_LE(r.ideal.time_s, r.afeir.time_s);
+  EXPECT_LE(r.afeir.time_s, r.feir.time_s * (1.0 + 1e-12));
+  EXPECT_LT(r.feir.time_s, r.ckpt.time_s);
+  EXPECT_LT(r.feir.time_s, r.restart.time_s);
+}
+
+TEST(Recovery, FeirConvergenceCloseToIdeal) {
+  // Exact recovery: iteration count within a handful of the ideal run.
+  const Fig4Runs r = run_fig4();
+  EXPECT_LE(r.feir.iterations, r.ideal.iterations + 5);
+}
+
+TEST(Recovery, LossyRestartNeedsMoreIterations) {
+  const Fig4Runs r = run_fig4();
+  EXPECT_GT(r.restart.iterations, r.ideal.iterations);
+}
+
+TEST(Recovery, CheckpointRedoesWork) {
+  const Fig4Runs r = run_fig4();
+  // Rollback to iteration 50 from 60 -> >= ~10 redone iterations.
+  EXPECT_GE(r.ckpt.iterations, r.ideal.iterations + 8);
+}
+
+TEST(Recovery, FeirRecoversExactly) {
+  // Direct algebraic check: solve to convergence with a fault; the final
+  // solution must satisfy the system as well as the ideal run.
+  const Csr a = laplacian_2d(40, 40);
+  const auto b = ones(a.n);
+  std::vector<double> x;
+  const CgResult res = solve_cg(a, b, x, faulty(Recovery::feir, 60));
+  ASSERT_TRUE(res.converged);
+  std::vector<double> ax(a.n);
+  raa::solver::spmv(a, x, ax);
+  raa::solver::axpy(-1.0, b, ax);
+  EXPECT_LT(raa::solver::norm2(ax) / raa::solver::norm2(b), 1e-7);
+  EXPECT_GT(res.inner_iterations, 0u);
+}
+
+TEST(Recovery, FeirResidualJumpIsSmall) {
+  // The residual right after recovery must be close to the pre-fault one
+  // (exactness) — unlike lossy restart, which visibly jumps.
+  const auto trace_jump = [](const CgResult& res, std::size_t inject_at) {
+    double before = 0.0, after = 0.0;
+    for (std::size_t i = 1; i < res.trace.size(); ++i) {
+      if (res.trace[i].iteration == inject_at &&
+          res.trace[i - 1].iteration == inject_at) {
+        before = res.trace[i - 1].rel_residual;
+        after = res.trace[i].rel_residual;
+        break;
+      }
+    }
+    return std::make_pair(before, after);
+  };
+  const Csr a = laplacian_2d(40, 40);
+  const auto b = ones(a.n);
+  std::vector<double> x;
+  const CgResult feir = solve_cg(a, b, x, faulty(Recovery::feir, 60));
+  const CgResult lossy =
+      solve_cg(a, b, x, faulty(Recovery::lossy_restart, 60));
+  const auto [fb, fa] = trace_jump(feir, 60);
+  const auto [lb, la] = trace_jump(lossy, 60);
+  ASSERT_GT(fb, 0.0);
+  ASSERT_GT(lb, 0.0);
+  EXPECT_LT(fa / fb, 1.5);   // essentially unchanged
+  EXPECT_GT(la / lb, 2.0);   // visible setback
+}
+
+TEST(Recovery, RFaultRecomputedExactly) {
+  const Csr a = laplacian_2d(32, 32);
+  const auto b = ones(a.n);
+  std::vector<double> x;
+  const CgResult res =
+      solve_cg(a, b, x, faulty(Recovery::feir, 40, FaultTarget::r));
+  EXPECT_TRUE(res.converged);
+  std::vector<double> ideal_x;
+  const CgResult ideal = solve_cg(a, b, ideal_x, CgOptions{});
+  EXPECT_LE(res.iterations, ideal.iterations + 5);
+}
+
+TEST(Recovery, PFaultStillConverges) {
+  const Csr a = laplacian_2d(32, 32);
+  const auto b = ones(a.n);
+  std::vector<double> x;
+  const CgResult res =
+      solve_cg(a, b, x, faulty(Recovery::feir, 40, FaultTarget::p));
+  EXPECT_TRUE(res.converged);
+}
+
+TEST(Recovery, UnprotectedFaultMayStallOrMisconverge) {
+  // Sanity: with recovery == none and a fault flagged, the fault is simply
+  // not injected (the "Ideal" series); this documents the API contract.
+  const Csr a = laplacian_2d(24, 24);
+  const auto b = ones(a.n);
+  std::vector<double> x;
+  CgOptions opt = faulty(Recovery::none, 30);
+  const CgResult res = solve_cg(a, b, x, opt);
+  EXPECT_TRUE(res.converged);
+}
+
+TEST(Recovery, AsyncOverheadSmallerThanSync) {
+  const Fig4Runs r = run_fig4();
+  EXPECT_LT(r.afeir.recovery_time_s, r.feir.recovery_time_s);
+}
+
+class CkptIntervalSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CkptIntervalSweep, ConvergesForAllIntervals) {
+  const Csr a = laplacian_2d(32, 32);
+  const auto b = ones(a.n);
+  std::vector<double> x;
+  CgOptions opt = faulty(Recovery::checkpoint, 60);
+  opt.checkpoint_interval = GetParam();
+  const CgResult res = solve_cg(a, b, x, opt);
+  EXPECT_TRUE(res.converged) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Intervals, CkptIntervalSweep,
+                         ::testing::Values(10, 25, 50, 100, 1000));
+
+}  // namespace

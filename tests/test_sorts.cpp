@@ -1,0 +1,202 @@
+// Tests for the §3.2 sorting algorithms: functional correctness of all four
+// vectorised sorts across sizes/distributions/machine shapes, plus the
+// headline performance relations of Figure 3 (VSR best, more lanes faster,
+// CPT flat in n).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "common/rng.hpp"
+#include "sort/sorts.hpp"
+
+namespace {
+
+using raa::sort::Algorithm;
+using raa::sort::run_vector_sort;
+using raa::sort::SortStats;
+using raa::vec::Elem;
+using raa::vec::VpuConfig;
+
+std::vector<Elem> make_data(std::size_t n, const std::string& dist,
+                            std::uint64_t seed) {
+  raa::Rng rng{seed};
+  std::vector<Elem> v(n);
+  if (dist == "uniform") {
+    for (auto& x : v) x = rng.below(1ull << 32);
+  } else if (dist == "all_equal") {
+    std::fill(v.begin(), v.end(), 12345u);
+  } else if (dist == "sorted") {
+    for (std::size_t i = 0; i < n; ++i) v[i] = i;
+  } else if (dist == "reverse") {
+    for (std::size_t i = 0; i < n; ++i) v[i] = n - i;
+  } else if (dist == "few_uniques") {
+    for (auto& x : v) x = rng.below(16) * 1000;
+  }
+  return v;
+}
+
+using Case = std::tuple<Algorithm, std::size_t, const char*>;
+
+class SortCorrectness : public ::testing::TestWithParam<Case> {};
+
+TEST_P(SortCorrectness, MatchesStdSort) {
+  const auto [algo, n, dist] = GetParam();
+  std::vector<Elem> data = make_data(n, dist, 42 + n);
+  std::vector<Elem> expect = data;
+  std::sort(expect.begin(), expect.end());
+  const VpuConfig cfg{.mvl = 64, .lanes = 4};
+  const SortStats st = run_vector_sort(algo, cfg, data);
+  EXPECT_EQ(data, expect);
+  if (n > 1) {
+    EXPECT_GT(st.cycles, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgorithmsSizesDistributions, SortCorrectness,
+    ::testing::Combine(
+        ::testing::Values(Algorithm::vsr, Algorithm::vector_radix,
+                          Algorithm::vector_quicksort, Algorithm::bitonic),
+        ::testing::Values<std::size_t>(0, 1, 2, 63, 64, 65, 1000, 4096),
+        ::testing::Values("uniform", "all_equal", "sorted", "reverse",
+                          "few_uniques")),
+    [](const auto& pinfo) {
+      return std::string(raa::sort::to_string(std::get<0>(pinfo.param))) +
+             "_n" + std::to_string(std::get<1>(pinfo.param)) + "_" +
+             std::get<2>(pinfo.param);
+    });
+
+class SortMachineShapes
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>> {};
+
+TEST_P(SortMachineShapes, VsrCorrectAcrossMvlAndLanes) {
+  const auto [mvl, lanes] = GetParam();
+  std::vector<Elem> data = make_data(3000, "uniform", 7);
+  std::vector<Elem> expect = data;
+  std::sort(expect.begin(), expect.end());
+  (void)run_vector_sort(Algorithm::vsr,
+                        VpuConfig{.mvl = mvl, .lanes = lanes}, data);
+  EXPECT_EQ(data, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SortMachineShapes,
+    ::testing::Combine(::testing::Values(8u, 16u, 32u, 64u),
+                       ::testing::Values(1u, 2u, 4u)),
+    [](const auto& pinfo) {
+      return "mvl" + std::to_string(std::get<0>(pinfo.param)) + "_l" +
+             std::to_string(std::get<1>(pinfo.param));
+    });
+
+TEST(SortPerf, ScalarBaselineCostsAreCharged) {
+  raa::vec::ScalarCore core;
+  std::vector<Elem> data = make_data(4096, "uniform", 3);
+  const SortStats st = raa::sort::scalar_radix_sort(core, data);
+  EXPECT_TRUE(std::is_sorted(data.begin(), data.end()));
+  // Scalar radix: tens of cycles per element over 4 passes.
+  EXPECT_GT(st.cpt(4096), 50.0);
+  EXPECT_LT(st.cpt(4096), 400.0);
+}
+
+TEST(SortPerf, VsrSpeedupOverScalarInPaperBand) {
+  const std::size_t n = 16384;
+  std::vector<Elem> scalar_data = make_data(n, "uniform", 11);
+  raa::vec::ScalarCore core;
+  const SortStats scalar = raa::sort::scalar_radix_sort(core, scalar_data);
+
+  // Single lane: the paper reports 7.9x - 11.7x at the largest MVL.
+  std::vector<Elem> d1 = make_data(n, "uniform", 11);
+  const SortStats one_lane =
+      run_vector_sort(Algorithm::vsr, VpuConfig{.mvl = 64, .lanes = 1}, d1);
+  const double s1 = static_cast<double>(scalar.cycles) /
+                    static_cast<double>(one_lane.cycles);
+  EXPECT_GT(s1, 4.0);
+  EXPECT_LT(s1, 16.0);
+
+  // Four lanes: 14.9x - 20.6x in the paper; must beat the single lane.
+  std::vector<Elem> d4 = make_data(n, "uniform", 11);
+  const SortStats four_lanes =
+      run_vector_sort(Algorithm::vsr, VpuConfig{.mvl = 64, .lanes = 4}, d4);
+  const double s4 = static_cast<double>(scalar.cycles) /
+                    static_cast<double>(four_lanes.cycles);
+  EXPECT_GT(s4, 1.5 * s1);
+  EXPECT_LT(s4, 30.0);
+}
+
+TEST(SortPerf, VsrBeatsEveryOtherVectorSort) {
+  const std::size_t n = 16384;
+  const VpuConfig cfg{.mvl = 64, .lanes = 4};
+  std::vector<Elem> d = make_data(n, "uniform", 5);
+  const SortStats vsr = run_vector_sort(Algorithm::vsr, cfg, d);
+  for (const Algorithm other :
+       {Algorithm::vector_radix, Algorithm::vector_quicksort,
+        Algorithm::bitonic}) {
+    std::vector<Elem> d2 = make_data(n, "uniform", 5);
+    const SortStats st = run_vector_sort(other, cfg, d2);
+    EXPECT_GT(st.cycles, vsr.cycles) << raa::sort::to_string(other);
+  }
+}
+
+TEST(SortPerf, LargerMvlNeverSlowerForVsr) {
+  const std::size_t n = 16384;
+  std::uint64_t prev = ~0ull;
+  for (const unsigned mvl : {8u, 16u, 32u, 64u}) {
+    std::vector<Elem> d = make_data(n, "uniform", 9);
+    const SortStats st =
+        run_vector_sort(Algorithm::vsr, VpuConfig{.mvl = mvl, .lanes = 1}, d);
+    EXPECT_LE(st.cycles, prev) << mvl;
+    prev = st.cycles;
+  }
+}
+
+TEST(SortPerf, VsrCptFlatInInputSize) {
+  // O(k*n): cycles-per-tuple must stay ~constant as n grows (the paper
+  // calls this out as the key asymptotic property).
+  const VpuConfig cfg{.mvl = 64, .lanes = 4};
+  std::vector<Elem> small = make_data(16384, "uniform", 1);
+  std::vector<Elem> large = make_data(65536, "uniform", 2);
+  const double cpt_small =
+      run_vector_sort(Algorithm::vsr, cfg, small).cpt(16384);
+  const double cpt_large =
+      run_vector_sort(Algorithm::vsr, cfg, large).cpt(65536);
+  EXPECT_NEAR(cpt_large / cpt_small, 1.0, 0.10);
+}
+
+TEST(SortPerf, BitonicGrowsSuperlinearly) {
+  const VpuConfig cfg{.mvl = 64, .lanes = 4};
+  std::vector<Elem> small = make_data(4096, "uniform", 1);
+  std::vector<Elem> large = make_data(16384, "uniform", 2);
+  const double cpt_small =
+      run_vector_sort(Algorithm::bitonic, cfg, small).cpt(4096);
+  const double cpt_large =
+      run_vector_sort(Algorithm::bitonic, cfg, large).cpt(16384);
+  EXPECT_GT(cpt_large, cpt_small * 1.15);  // n log^2 n
+}
+
+TEST(SortPerf, SerialVpiVariantStillCorrectAndSlower) {
+  const std::size_t n = 8192;
+  std::vector<Elem> d1 = make_data(n, "uniform", 13);
+  std::vector<Elem> d2 = d1;
+  std::vector<Elem> expect = d1;
+  std::sort(expect.begin(), expect.end());
+  const SortStats par = run_vector_sort(
+      Algorithm::vsr, VpuConfig{.mvl = 64, .lanes = 4, .parallel_vpi = true},
+      d1);
+  const SortStats ser = run_vector_sort(
+      Algorithm::vsr, VpuConfig{.mvl = 64, .lanes = 4, .parallel_vpi = false},
+      d2);
+  EXPECT_EQ(d1, expect);
+  EXPECT_EQ(d2, expect);
+  EXPECT_GE(ser.cycles, par.cycles);
+}
+
+TEST(SortPerf, ScalarQuicksortCharged) {
+  raa::vec::ScalarCore core;
+  std::vector<Elem> data = make_data(10000, "uniform", 21);
+  const SortStats st = raa::sort::scalar_quicksort(core, data);
+  EXPECT_TRUE(std::is_sorted(data.begin(), data.end()));
+  EXPECT_GT(st.cycles, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,218 @@
+// Tests for the TDG replay simulator: analytic makespans on known graphs,
+// energy accounting, priority policies, governor hooks, determinism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "runtime/graph.hpp"
+#include "simcore/tdg_sim.hpp"
+
+namespace {
+
+using raa::sim::DvfsTable;
+using raa::sim::FreqDecision;
+using raa::sim::MachineConfig;
+using raa::sim::OperatingPoint;
+using raa::sim::PowerModel;
+using raa::sim::replay;
+using raa::tdg::Graph;
+using raa::tdg::Synthetic;
+
+MachineConfig machine(unsigned cores) { return MachineConfig{.cores = cores}; }
+
+constexpr double kNomGhz = 2.0;  // DvfsTable::typical() nominal frequency
+
+TEST(DvfsTable, TypicalShape) {
+  const auto t = DvfsTable::typical();
+  EXPECT_EQ(t.points().size(), 5u);
+  EXPECT_DOUBLE_EQ(t.lowest().freq_ghz, 0.8);
+  EXPECT_DOUBLE_EQ(t.highest().freq_ghz, 2.4);
+  EXPECT_DOUBLE_EQ(t.nominal().freq_ghz, 2.0);
+  EXPECT_DOUBLE_EQ(t.at_most(1.7).freq_ghz, 1.6);
+  EXPECT_DOUBLE_EQ(t.at_most(0.1).freq_ghz, 0.8);  // clamps to lowest
+}
+
+TEST(PowerModel, MonotoneInVoltageAndFrequency) {
+  const PowerModel p;
+  const OperatingPoint lo{0.8, 0.7}, hi{2.4, 1.15};
+  EXPECT_LT(p.busy_w(lo), p.busy_w(hi));
+  EXPECT_LT(p.idle_w(lo), p.busy_w(lo));
+  EXPECT_NEAR(p.dynamic_w({2.0, 1.0}), 1.0, 1e-12);  // 0.5 * 1 * 2
+}
+
+TEST(MachineConfig, DefaultBudgetIsAllCoresNominal) {
+  const auto m = machine(32);
+  EXPECT_NEAR(m.effective_budget_w(),
+              32.0 * m.power.busy_w(m.dvfs.nominal()), 1e-9);
+  MachineConfig custom = m;
+  custom.power_budget_w = 10.0;
+  EXPECT_DOUBLE_EQ(custom.effective_budget_w(), 10.0);
+}
+
+TEST(Replay, EmptyGraph) {
+  const auto r = replay(Graph{}, machine(4));
+  EXPECT_DOUBLE_EQ(r.makespan_ns, 0.0);
+  EXPECT_DOUBLE_EQ(r.energy_j, 0.0);
+}
+
+TEST(Replay, ChainMakespanIsSerial) {
+  const auto g = Synthetic::chain(10, 100.0);
+  for (const unsigned cores : {1u, 4u, 32u}) {
+    const auto r = replay(g, machine(cores));
+    EXPECT_NEAR(r.makespan_ns, 10.0 * 100.0 / kNomGhz, 1e-9) << cores;
+  }
+}
+
+TEST(Replay, IndependentTasksScaleWithCores) {
+  Graph g;
+  for (int i = 0; i < 64; ++i) g.add_node(100.0);
+  // 64 equal tasks: ceil(64/P) rounds of 50ns at nominal.
+  for (const unsigned cores : {1u, 2u, 4u, 8u, 16u}) {
+    const auto r = replay(g, machine(cores));
+    const double rounds = std::ceil(64.0 / cores);
+    EXPECT_NEAR(r.makespan_ns, rounds * 50.0, 1e-9) << cores;
+  }
+}
+
+TEST(Replay, ForkJoinAnalytic) {
+  const auto g = Synthetic::fork_join(8, 100.0, 20.0);
+  const auto r = replay(g, machine(4));
+  // fork 10ns, 2 waves of 50ns, join 10ns (at 2 GHz).
+  EXPECT_NEAR(r.makespan_ns, 10.0 + 2 * 50.0 + 10.0, 1e-9);
+}
+
+TEST(Replay, TimelineRespectsDependences) {
+  const auto g = Synthetic::cholesky(6);
+  const auto r = replay(g, machine(8));
+  ASSERT_EQ(r.timeline.size(), g.node_count());
+  for (raa::tdg::NodeId v = 0; v < g.node_count(); ++v)
+    for (const auto s : g.successors(v))
+      EXPECT_LE(r.timeline[v].end_ns, r.timeline[s].start_ns + 1e-9);
+}
+
+TEST(Replay, TimelineNoCoreOverlap) {
+  const auto g = Synthetic::layered_random(8, 16, 3, 50.0, 200.0, 5);
+  const auto r = replay(g, machine(4));
+  // Group placements by core and check disjointness.
+  std::vector<std::vector<raa::sim::PlacedTask>> per_core(4);
+  for (const auto& p : r.timeline) per_core[p.core].push_back(p);
+  for (auto& v : per_core) {
+    std::sort(v.begin(), v.end(),
+              [](const auto& a, const auto& b) { return a.start_ns < b.start_ns; });
+    for (std::size_t i = 1; i < v.size(); ++i)
+      EXPECT_LE(v[i - 1].end_ns, v[i].start_ns + 1e-9);
+  }
+}
+
+TEST(Replay, SingleTaskEnergyAnalytic) {
+  Graph g;
+  g.add_node(200.0);
+  const auto m = machine(1);
+  const auto r = replay(g, m);
+  const double dur_ns = 200.0 / kNomGhz;
+  EXPECT_NEAR(r.makespan_ns, dur_ns, 1e-9);
+  EXPECT_NEAR(r.energy_j, m.power.busy_w(m.dvfs.nominal()) * dur_ns * 1e-9,
+              1e-15);
+}
+
+TEST(Replay, IdleCoresLeak) {
+  Graph g;
+  g.add_node(200.0);
+  const auto m1 = machine(1);
+  const auto m4 = machine(4);
+  const auto r1 = replay(g, m1);
+  const auto r4 = replay(g, m4);
+  // Same makespan, but 3 extra idle cores leak.
+  EXPECT_NEAR(r4.makespan_ns, r1.makespan_ns, 1e-9);
+  const double extra =
+      3.0 * m4.power.idle_w(m4.dvfs.nominal()) * r1.makespan_ns * 1e-9;
+  EXPECT_NEAR(r4.energy_j - r1.energy_j, extra, 1e-15);
+}
+
+TEST(Replay, UtilizationBounds) {
+  const auto g = Synthetic::layered_random(10, 8, 2, 10.0, 100.0, 3);
+  const auto r = replay(g, machine(4));
+  EXPECT_GT(r.utilization(4), 0.0);
+  EXPECT_LE(r.utilization(4), 1.0 + 1e-12);
+}
+
+TEST(Replay, DeterministicAcrossRuns) {
+  const auto g = Synthetic::layered_random(12, 24, 4, 10.0, 500.0, 11);
+  const auto a = replay(g, machine(8), raa::sim::priority_bottom_level());
+  const auto b = replay(g, machine(8), raa::sim::priority_bottom_level());
+  EXPECT_DOUBLE_EQ(a.makespan_ns, b.makespan_ns);
+  EXPECT_DOUBLE_EQ(a.energy_j, b.energy_j);
+  for (std::size_t i = 0; i < a.timeline.size(); ++i) {
+    EXPECT_EQ(a.timeline[i].core, b.timeline[i].core);
+    EXPECT_DOUBLE_EQ(a.timeline[i].start_ns, b.timeline[i].start_ns);
+  }
+}
+
+TEST(Replay, BottomLevelPriorityBeatsFifoOnSkewedDag) {
+  // One long chain plus many short independent tasks, few cores: running the
+  // chain head first is crucial; FIFO (spawn order puts shorts first) lags.
+  Graph g;
+  // 30 short tasks spawned "first".
+  for (int i = 0; i < 30; ++i) g.add_node(100.0);
+  // A chain of 10 long tasks spawned "after".
+  raa::tdg::NodeId prev = raa::tdg::kNoNode;
+  for (int i = 0; i < 10; ++i) {
+    const auto v = g.add_node(300.0);
+    if (prev != raa::tdg::kNoNode) g.add_edge(prev, v);
+    prev = v;
+  }
+  const auto fifo = replay(g, machine(2), raa::sim::priority_fifo());
+  const auto blevel = replay(g, machine(2), raa::sim::priority_bottom_level());
+  EXPECT_LT(blevel.makespan_ns, fifo.makespan_ns);
+}
+
+// A governor that alternates between two operating points to exercise the
+// switch counter and the stall accounting.
+class AlternatingGovernor final : public raa::sim::FrequencyGovernor {
+ public:
+  void prepare(const Graph&, const MachineConfig& m) override {
+    a_ = m.dvfs.lowest();
+    b_ = m.dvfs.highest();
+  }
+  FreqDecision on_task_start(raa::tdg::NodeId task, unsigned,
+                             double) override {
+    return {(task % 2 == 0) ? a_ : b_, 7.0};
+  }
+
+ private:
+  OperatingPoint a_, b_;
+};
+
+TEST(Replay, GovernorStallsAndSwitchesCounted) {
+  const auto g = Synthetic::chain(6, 100.0);
+  AlternatingGovernor gov;
+  const auto r = replay(g, machine(1), raa::sim::priority_fifo(), &gov);
+  EXPECT_EQ(r.freq_switches, 6u);  // every task flips the single core
+  EXPECT_NEAR(r.stall_ns, 6 * 7.0, 1e-9);
+  // Makespan = stalls + alternating durations at 0.8 / 2.4 GHz.
+  const double expect =
+      6 * 7.0 + 3 * (100.0 / 0.8) + 3 * (100.0 / 2.4);
+  EXPECT_NEAR(r.makespan_ns, expect, 1e-9);
+}
+
+TEST(Replay, MoreCoresNeverSlower) {
+  const auto g = Synthetic::cholesky(8);
+  double prev = 1e300;
+  for (const unsigned cores : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    const auto r = replay(g, machine(cores), raa::sim::priority_bottom_level());
+    EXPECT_LE(r.makespan_ns, prev * (1.0 + 1e-9)) << cores;
+    prev = r.makespan_ns;
+  }
+}
+
+TEST(Replay, MakespanLowerBounds) {
+  const auto g = Synthetic::cholesky(7);
+  const unsigned cores = 4;
+  const auto r = replay(g, machine(cores), raa::sim::priority_bottom_level());
+  const double cp_ns = g.critical_path_length() / kNomGhz;
+  const double work_ns = g.total_cost() / kNomGhz / cores;
+  EXPECT_GE(r.makespan_ns, cp_ns - 1e-9);
+  EXPECT_GE(r.makespan_ns, work_ns - 1e-9);
+}
+
+}  // namespace

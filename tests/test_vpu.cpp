@@ -1,0 +1,234 @@
+// Tests for the vector ISA simulator: functional semantics of every
+// instruction (with special attention to the proposed VPI/VLU), and the
+// chained-block timing model.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "vector/vpu.hpp"
+
+namespace {
+
+using raa::vec::Elem;
+using raa::vec::Mask;
+using raa::vec::Vpu;
+using raa::vec::VpuConfig;
+using raa::vec::Vreg;
+
+Vpu make_vpu(unsigned mvl = 64, unsigned lanes = 4, bool par_vpi = true) {
+  return Vpu{VpuConfig{.mvl = mvl, .lanes = lanes, .parallel_vpi = par_vpi}};
+}
+
+TEST(VpuFunctional, LoadStoreRoundTrip) {
+  Vpu vpu = make_vpu();
+  std::vector<Elem> mem{5, 4, 3, 2, 1};
+  const Vreg v = vpu.vload(mem.data(), 5);
+  std::vector<Elem> out(5);
+  vpu.vstore(out.data(), v);
+  EXPECT_EQ(out, mem);
+}
+
+TEST(VpuFunctional, GatherScatter) {
+  Vpu vpu = make_vpu();
+  std::vector<Elem> mem{10, 20, 30, 40};
+  const Vreg g = vpu.vgather(mem.data(), {3, 0, 2});
+  EXPECT_EQ(g, (Vreg{40, 10, 30}));
+  vpu.vscatter(mem.data(), {1, 3}, {99, 77});
+  EXPECT_EQ(mem, (std::vector<Elem>{10, 99, 30, 77}));
+}
+
+TEST(VpuFunctional, MaskedScatterWritesOnlyMasked) {
+  Vpu vpu = make_vpu();
+  std::vector<Elem> mem{0, 0, 0};
+  vpu.vscatter_masked(mem.data(), {0, 1, 2}, {5, 6, 7}, {1, 0, 1});
+  EXPECT_EQ(mem, (std::vector<Elem>{5, 0, 7}));
+}
+
+TEST(VpuFunctional, ArithmeticOps) {
+  Vpu vpu = make_vpu();
+  EXPECT_EQ(vpu.vadd({1, 2}, {10, 20}), (Vreg{11, 22}));
+  EXPECT_EQ(vpu.vsub({10, 20}, {1, 2}), (Vreg{9, 18}));
+  EXPECT_EQ(vpu.vadd_s({1, 2}, 5), (Vreg{6, 7}));
+  EXPECT_EQ(vpu.vand_s({0xFF, 0x101}, 0xF0), (Vreg{0xF0, 0x00}));
+  EXPECT_EQ(vpu.vshr_s({256, 512}, 8), (Vreg{1, 2}));
+  EXPECT_EQ(vpu.vshl_s({1, 2}, 4), (Vreg{16, 32}));
+  EXPECT_EQ(vpu.vxor_s({0b1010, 0b0110}, 0b1100), (Vreg{0b0110, 0b1010}));
+  EXPECT_EQ(vpu.vmin({3, 9}, {5, 2}), (Vreg{3, 2}));
+  EXPECT_EQ(vpu.vmax({3, 9}, {5, 2}), (Vreg{5, 9}));
+}
+
+TEST(VpuFunctional, IotaBroadcastSelect) {
+  Vpu vpu = make_vpu();
+  EXPECT_EQ(vpu.viota(4), (Vreg{0, 1, 2, 3}));
+  EXPECT_EQ(vpu.vbroadcast(7, 3), (Vreg{7, 7, 7}));
+  EXPECT_EQ(vpu.vselect({1, 0, 1}, {1, 2, 3}, {9, 8, 7}), (Vreg{1, 8, 3}));
+}
+
+TEST(VpuFunctional, CompareAndCompress) {
+  Vpu vpu = make_vpu();
+  const Mask m = vpu.vcmp_lt_s({1, 5, 3, 9}, 4);
+  EXPECT_EQ(m, (Mask{1, 0, 1, 0}));
+  EXPECT_EQ(vpu.vcompress({1, 5, 3, 9}, m), (Vreg{1, 3}));
+  EXPECT_EQ(vpu.vmask_not(m), (Mask{0, 1, 0, 1}));
+  EXPECT_EQ(vpu.vmask_popcount(m), 2u);
+}
+
+TEST(VpuFunctional, PermuteAndReduce) {
+  Vpu vpu = make_vpu();
+  EXPECT_EQ(vpu.vpermute({10, 20, 30}, {2, 2, 0}), (Vreg{30, 30, 10}));
+  EXPECT_EQ(vpu.vreduce_add({1, 2, 3, 4}), 10u);
+  EXPECT_EQ(vpu.vreduce_max({1, 7, 3}), 7u);
+}
+
+TEST(VpuFunctional, VpiKnownExample) {
+  // "Each element of the output asserts exactly how many instances of a
+  // value in the corresponding element of the input have been seen before."
+  Vpu vpu = make_vpu();
+  EXPECT_EQ(vpu.vpi({3, 1, 3, 3, 1, 2}), (Vreg{0, 0, 1, 2, 1, 0}));
+}
+
+TEST(VpuFunctional, VluKnownExample) {
+  // Marks the last instance of each distinct value.
+  Vpu vpu = make_vpu();
+  EXPECT_EQ(vpu.vlu({3, 1, 3, 3, 1, 2}), (Mask{0, 0, 0, 1, 1, 1}));
+}
+
+TEST(VpuFunctional, VpiAllDistinctIsZero) {
+  Vpu vpu = make_vpu();
+  EXPECT_EQ(vpu.vpi({9, 8, 7}), (Vreg{0, 0, 0}));
+  EXPECT_EQ(vpu.vlu({9, 8, 7}), (Mask{1, 1, 1}));
+}
+
+TEST(VpuFunctional, VpiAllEqualCountsUp) {
+  Vpu vpu = make_vpu();
+  EXPECT_EQ(vpu.vpi({4, 4, 4, 4}), (Vreg{0, 1, 2, 3}));
+  EXPECT_EQ(vpu.vlu({4, 4, 4, 4}), (Mask{0, 0, 0, 1}));
+}
+
+class VpiVluProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VpiVluProperty, MatchBruteForce) {
+  raa::Rng rng{GetParam()};
+  Vpu vpu = make_vpu();
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 1 + rng.below(64);
+    Vreg in(n);
+    for (auto& v : in) v = rng.below(8);  // few distinct -> many duplicates
+    const Vreg got_vpi = vpu.vpi(in);
+    const Mask got_vlu = vpu.vlu(in);
+    std::map<Elem, Elem> seen;
+    std::map<Elem, std::size_t> last;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(got_vpi[i], seen[in[i]]++);
+      last[in[i]] = i;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool is_last = last[in[i]] == i;
+      EXPECT_EQ(got_vlu[i] != 0, is_last);
+    }
+    // Invariant linking the two: at the last instance, vpi == count - 1.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (got_vlu[i]) {
+        EXPECT_EQ(got_vpi[i] + 1, seen[in[i]]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VpiVluProperty, ::testing::Values(1, 2, 3));
+
+// --- timing model -------------------------------------------------------
+
+TEST(VpuTiming, UnitLoadBlock) {
+  Vpu vpu = make_vpu(64, 1);
+  std::vector<Elem> mem(64);
+  (void)vpu.vload(mem.data(), 64);
+  vpu.sync();
+  // issue(1) + mem latency(20) + 64/1 lanes.
+  EXPECT_EQ(vpu.cycles(), 1u + 20u + 64u);
+}
+
+TEST(VpuTiming, LanesDivideArithmeticTime) {
+  for (const unsigned lanes : {1u, 2u, 4u, 8u}) {
+    Vpu vpu = make_vpu(64, lanes);
+    (void)vpu.vadd(Vreg(64, 1), Vreg(64, 2));
+    vpu.sync();
+    EXPECT_EQ(vpu.cycles(), 1u + 64u / lanes) << lanes;
+  }
+}
+
+TEST(VpuTiming, GatherSerializesThroughIndexedPort) {
+  Vpu vpu1 = make_vpu(64, 1);
+  Vpu vpu4 = make_vpu(64, 4);
+  std::vector<Elem> mem(64);
+  const Vreg idx = [&] {
+    Vreg v(64);
+    std::iota(v.begin(), v.end(), 0);
+    return v;
+  }();
+  (void)vpu1.vgather(mem.data(), idx);
+  vpu1.sync();
+  (void)vpu4.vgather(mem.data(), idx);
+  vpu4.sync();
+  EXPECT_EQ(vpu1.cycles(), 1u + 20u + 64u);       // 1 elem/cycle
+  EXPECT_EQ(vpu4.cycles(), 1u + 20u + 64u / 2u);  // indexed tput = lanes/2
+}
+
+TEST(VpuTiming, SerialVsParallelVpi) {
+  Vpu serial = make_vpu(64, 4, /*par_vpi=*/false);
+  Vpu parallel = make_vpu(64, 4, /*par_vpi=*/true);
+  const Vreg in(64, 3);
+  (void)serial.vpi(in);
+  serial.sync();
+  (void)parallel.vpi(in);
+  parallel.sync();
+  EXPECT_EQ(serial.cycles(), 1u + 64u);            // VL serial cycles
+  EXPECT_EQ(parallel.cycles(), 1u + 2u * 16u);     // 2*ceil(VL/lanes)
+  EXPECT_LT(parallel.cycles(), serial.cycles());
+}
+
+TEST(VpuTiming, ChainedBlockIsBottleneckBound) {
+  // One load + three dependent arithmetic ops, 4 lanes: ALU occupancy
+  // 3*16 = 48 > mem 16 -> block = 4 issues + latency + 48.
+  Vpu vpu = make_vpu(64, 4);
+  std::vector<Elem> mem(64, 1);
+  Vreg v = vpu.vload(mem.data(), 64);
+  v = vpu.vadd_s(v, 1);
+  v = vpu.vadd_s(v, 1);
+  v = vpu.vadd_s(v, 1);
+  vpu.sync();
+  EXPECT_EQ(vpu.cycles(), 4u * 1u + 20u + 48u);
+}
+
+TEST(VpuTiming, MemLatencyChargedOncePerBlock) {
+  Vpu vpu = make_vpu(64, 4);
+  std::vector<Elem> mem(256, 1);
+  for (int i = 0; i < 4; ++i) (void)vpu.vload(mem.data() + 64 * i, 64);
+  vpu.sync();
+  // 4 issues + one latency + 4*16 mem occupancy (chained streaming).
+  EXPECT_EQ(vpu.cycles(), 4u + 20u + 64u);
+}
+
+TEST(VpuTiming, SyncWithoutWorkIsFree) {
+  Vpu vpu = make_vpu();
+  vpu.sync();
+  vpu.sync();
+  EXPECT_EQ(vpu.cycles(), 0u);
+}
+
+TEST(VpuTiming, ScalarWorkSerializes) {
+  Vpu vpu = make_vpu();
+  vpu.scalar_work(100);
+  EXPECT_EQ(vpu.cycles(), 100u);
+}
+
+TEST(VpuTiming, InstructionsCounted) {
+  Vpu vpu = make_vpu();
+  (void)vpu.viota(8);
+  (void)vpu.vadd_s(Vreg{1}, 1);
+  EXPECT_EQ(vpu.instructions(), 2u);
+}
+
+}  // namespace
