@@ -6,7 +6,8 @@
 // overhead), the lossy restart converges at a shallower slope, FEIR tracks
 // the ideal run closely and AFEIR has an even smaller overhead.
 //
-// The matrix is a 2-D Poisson stand-in for thermal2 (see DESIGN.md);
+// The matrix is a 2-D Poisson stand-in for thermal2 (see the substitution
+// table in docs/ARCHITECTURE.md);
 // --grid sets the side (n = grid^2).
 //
 // Flags: --grid=256 --inject-frac=0.5 --ckpt-interval=1000 --series

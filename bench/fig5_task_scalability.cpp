@@ -6,7 +6,8 @@
 // computation; the Pthreads originals saturate lower (fork-join barriers).
 //
 // Scaling is replayed on a simulated machine (this container has one CPU;
-// see DESIGN.md substitutions). Flags: --cores=16 --frames=30
+// see the substitution table in docs/ARCHITECTURE.md).
+// Flags: --cores=16 --frames=30
 #include <cstdio>
 #include <iostream>
 

@@ -20,7 +20,7 @@
 /// are expressed as TDGs (costs calibrated to PARSEC-like stage ratios) and
 /// replayed on simulated 1..16-core machines — this container has a single
 /// hardware thread, so wall-clock scaling is unmeasurable here (see
-/// DESIGN.md substitutions).
+/// the substitution table in docs/ARCHITECTURE.md).
 
 #include <cstddef>
 #include <vector>

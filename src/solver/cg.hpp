@@ -21,7 +21,7 @@
 /// The residual trace is computed in real arithmetic; the *time axis* is a
 /// machine model (flops / (cores x flops-per-cycle x frequency)) because
 /// Figure 4 plots wall-clock seconds on the authors' testbed — see
-/// DESIGN.md's substitution table.
+/// the substitution table in docs/ARCHITECTURE.md.
 
 #include <cstddef>
 #include <vector>

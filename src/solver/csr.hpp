@@ -4,7 +4,7 @@
 /// resilience study. The paper evaluates on `thermal2` (SuiteSparse FEM
 /// matrix, ~1.2M dofs); we substitute discrete Laplacians — SPD, local
 /// connectivity, same CG behaviour class — with the size as a knob (see
-/// DESIGN.md, substitutions table).
+/// the substitution table in docs/ARCHITECTURE.md).
 
 #include <cstddef>
 #include <span>
