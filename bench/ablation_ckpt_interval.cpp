@@ -1,15 +1,18 @@
 // Ablation — §4 checkpoint interval: overhead of the rollback scheme as a
 // function of the checkpoint period, against the (interval-free) FEIR.
+//
+// Flags: --grid=192 (plus the harness flags, see bench/harness.hpp)
 #include <cstdio>
 #include <iostream>
 
-#include "common/cli.hpp"
 #include "common/table.hpp"
+#include "harness.hpp"
 #include "solver/cg.hpp"
 
-int main(int argc, char** argv) {
-  const raa::Cli cli{argc, argv};
+RAA_BENCHMARK("ablation_ckpt_interval", "§4 checkpoint-interval ablation") {
+  const raa::Cli& cli = ctx.cli;
   const auto grid = static_cast<std::size_t>(cli.get_int("grid", 192));
+  ctx.report.set_param("grid", std::to_string(grid));
   const auto a = raa::solver::laplacian_2d(grid, grid);
   const std::vector<double> b(a.n, 1.0);
 
@@ -29,10 +32,11 @@ int main(int argc, char** argv) {
     return raa::solver::solve_cg(a, b, x2, opt);
   };
 
-  std::printf(
-      "Ablation: checkpoint interval (2-D Poisson %zux%zu, DUE at iteration "
-      "%zu of %zu)\n\n",
-      grid, grid, inject_at, ideal.iterations);
+  if (ctx.printing())
+    std::printf(
+        "Ablation: checkpoint interval (2-D Poisson %zux%zu, DUE at "
+        "iteration %zu of %zu)\n\n",
+        grid, grid, inject_at, ideal.iterations);
   raa::Table t{{"mechanism", "interval", "time overhead", "iterations"}};
   const auto pct = [&](double time_s) {
     char buf[32];
@@ -42,17 +46,25 @@ int main(int argc, char** argv) {
   };
   for (const std::size_t interval : {10u, 50u, 100u, 500u, 1000u}) {
     const auto r = with(raa::solver::Recovery::checkpoint, interval);
+    ctx.report.record(
+        "ckpt_overhead_frac/interval" + std::to_string(interval),
+        r.time_s / ideal.time_s - 1.0, "frac");
     t.row("checkpoint", static_cast<long>(interval), pct(r.time_s),
           static_cast<long>(r.iterations));
   }
   const auto feir = with(raa::solver::Recovery::feir, 1000);
+  ctx.report.record("overhead_frac/feir", feir.time_s / ideal.time_s - 1.0,
+                    "frac");
   t.row("feir", "-", pct(feir.time_s), static_cast<long>(feir.iterations));
   const auto afeir = with(raa::solver::Recovery::afeir, 1000);
+  ctx.report.record("overhead_frac/afeir",
+                    afeir.time_s / ideal.time_s - 1.0, "frac");
   t.row("afeir", "-", pct(afeir.time_s),
         static_cast<long>(afeir.iterations));
-  t.print(std::cout);
-  std::printf(
-      "\nShort intervals pay constant checkpoint copies, long intervals pay "
-      "rollback re-execution; FEIR avoids the trade-off entirely.\n");
-  return 0;
+  if (ctx.printing()) {
+    t.print(std::cout);
+    std::printf(
+        "\nShort intervals pay constant checkpoint copies, long intervals "
+        "pay rollback re-execution; FEIR avoids the trade-off entirely.\n");
+  }
 }

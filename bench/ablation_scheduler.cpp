@@ -2,15 +2,17 @@
 // (CATS-style) priority across workload families and machine widths.
 // Quantifies how much of the Sec. 3.1 gain comes from *ordering* alone
 // (before any DVFS is applied).
+//
+// Flags: none bench-specific (harness flags only, see bench/harness.hpp)
 #include <cstdio>
 #include <iostream>
 
-#include "common/cli.hpp"
 #include "common/table.hpp"
+#include "harness.hpp"
 #include "runtime/graph.hpp"
 #include "simcore/tdg_sim.hpp"
 
-int main(int, char**) {
+RAA_BENCHMARK("ablation_scheduler", "§3.1 scheduling-policy ablation") {
   using raa::tdg::Synthetic;
   const double c = 1.0e6;
   struct W {
@@ -35,7 +37,9 @@ int main(int, char**) {
        }()},
   };
 
-  std::printf("Ablation: ready-queue policy (makespan FIFO / bottom-level)\n\n");
+  if (ctx.printing())
+    std::printf(
+        "Ablation: ready-queue policy (makespan FIFO / bottom-level)\n\n");
   raa::Table t{{"workload", "8 cores", "16 cores", "32 cores"}};
   for (const auto& w : workloads) {
     std::vector<std::string> row{w.name};
@@ -45,16 +49,21 @@ int main(int, char**) {
           raa::sim::replay(w.g, m, raa::sim::priority_fifo());
       const auto blevel =
           raa::sim::replay(w.g, m, raa::sim::priority_bottom_level());
+      const double ratio = fifo.makespan_ns / blevel.makespan_ns;
+      ctx.report.record(std::string{"makespan_ratio/"} + w.name + "_cores" +
+                            std::to_string(cores),
+                        ratio, "x");
       char buf[32];
-      std::snprintf(buf, sizeof buf, "%.3fx",
-                    fifo.makespan_ns / blevel.makespan_ns);
+      std::snprintf(buf, sizeof buf, "%.3fx", ratio);
       row.push_back(buf);
     }
     t.row(std::move(row));
   }
-  t.print(std::cout);
-  std::printf(
-      "\nvalues > 1: criticality-ordered scheduling alone already shortens "
-      "the makespan; DVFS boosting (fig2 bench) stacks on top.\n");
-  return 0;
+  if (ctx.printing()) {
+    t.print(std::cout);
+    std::printf(
+        "\nvalues > 1: criticality-ordered scheduling alone already "
+        "shortens the makespan; DVFS boosting (fig2 bench) stacks on "
+        "top.\n");
+  }
 }

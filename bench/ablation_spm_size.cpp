@@ -2,21 +2,26 @@
 // Sweeps the per-tile SPM (which bounds how many strided streams can be
 // double-buffered) via the DMA chunk size, on the stream-heaviest kernel
 // (SP) and the gather-heavy one (CG).
+//
+// Flags: --tiles=64 (plus the harness flags, see bench/harness.hpp)
 #include <cstdio>
 #include <iostream>
 
-#include "common/cli.hpp"
 #include "common/table.hpp"
+#include "harness.hpp"
 #include "kernels/nas.hpp"
 #include "memsim/system.hpp"
 
-int main(int argc, char** argv) {
-  const raa::Cli cli{argc, argv};
+RAA_BENCHMARK("ablation_spm_size", "§2 SPM-size ablation") {
+  const raa::Cli& cli = ctx.cli;
   raa::mem::SystemConfig base_cfg;
   base_cfg.tiles = static_cast<unsigned>(cli.get_int("tiles", 64));
+  ctx.report.set_param("tiles", std::to_string(base_cfg.tiles));
 
-  std::printf(
-      "Ablation: DMA chunk size (per-stream SPM budget) vs hybrid speedup\n\n");
+  if (ctx.printing())
+    std::printf(
+        "Ablation: DMA chunk size (per-stream SPM budget) vs hybrid "
+        "speedup\n\n");
   raa::Table t{{"chunk KiB", "SP time x", "SP noc x", "CG time x",
                 "CG noc x"}};
   for (const unsigned chunk_kib : {1u, 2u, 4u, 8u}) {
@@ -41,18 +46,24 @@ int main(int argc, char** argv) {
         raa::mem::System sys{cfg, raa::mem::HierarchyMode::hybrid};
         hyb = sys.run(w);
       }
+      const double time_x = base.cycles / hyb.cycles;
+      const double noc_x = base.noc_flit_hops / hyb.noc_flit_hops;
+      const std::string suffix =
+          std::string{"/"} + name + "_chunk" + std::to_string(chunk_kib);
+      ctx.report.record("time_x" + suffix, time_x, "x");
+      ctx.report.record("noc_x" + suffix, noc_x, "x");
       char a[32], b[32];
-      std::snprintf(a, sizeof a, "%.3f", base.cycles / hyb.cycles);
-      std::snprintf(b, sizeof b, "%.3f",
-                    base.noc_flit_hops / hyb.noc_flit_hops);
+      std::snprintf(a, sizeof a, "%.3f", time_x);
+      std::snprintf(b, sizeof b, "%.3f", noc_x);
       row.push_back(a);
       row.push_back(b);
     }
     t.row(std::move(row));
   }
-  t.print(std::cout);
-  std::printf(
-      "\nLarger chunks amortise DMA control and directory transactions; "
-      "beyond a few KiB the return diminishes (SPM capacity pressure).\n");
-  return 0;
+  if (ctx.printing()) {
+    t.print(std::cout);
+    std::printf(
+        "\nLarger chunks amortise DMA control and directory transactions; "
+        "beyond a few KiB the return diminishes (SPM capacity pressure).\n");
+  }
 }

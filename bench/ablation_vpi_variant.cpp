@@ -1,16 +1,19 @@
 // Ablation — §3.2's "both serial and parallel variants" of the VPI/VLU
 // hardware: VSR sort cycles with each variant across lane counts.
+//
+// Flags: --n=65536 (plus the harness flags, see bench/harness.hpp)
 #include <cstdio>
 #include <iostream>
 
-#include "common/cli.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
+#include "harness.hpp"
 #include "sort/sorts.hpp"
 
-int main(int argc, char** argv) {
-  const raa::Cli cli{argc, argv};
+RAA_BENCHMARK("ablation_vpi_variant", "§3.2 VPI/VLU-variant ablation") {
+  const raa::Cli& cli = ctx.cli;
   const auto n = static_cast<std::size_t>(cli.get_int("n", 65536));
+  ctx.report.set_param("n", std::to_string(n));
 
   const auto make_keys = [&](std::uint64_t seed) {
     raa::Rng rng{seed};
@@ -19,7 +22,9 @@ int main(int argc, char** argv) {
     return v;
   };
 
-  std::printf("Ablation: serial vs parallel VPI/VLU hardware (VSR, MVL=64)\n\n");
+  if (ctx.printing())
+    std::printf(
+        "Ablation: serial vs parallel VPI/VLU hardware (VSR, MVL=64)\n\n");
   raa::Table t{{"lanes", "serial CPT", "parallel CPT", "parallel gain"}};
   for (const unsigned lanes : {1u, 2u, 4u, 8u}) {
     auto d1 = make_keys(1);
@@ -32,6 +37,13 @@ int main(int argc, char** argv) {
         raa::sort::Algorithm::vsr,
         raa::vec::VpuConfig{.mvl = 64, .lanes = lanes, .parallel_vpi = true},
         d2);
+    const std::string suffix = "/lanes" + std::to_string(lanes);
+    ctx.report.record("serial_cpt" + suffix, ser.cpt(n), "cycles/tuple");
+    ctx.report.record("parallel_cpt" + suffix, par.cpt(n), "cycles/tuple");
+    ctx.report.record("parallel_gain" + suffix,
+                      static_cast<double>(ser.cycles) /
+                          static_cast<double>(par.cycles),
+                      "x");
     char gain[32];
     std::snprintf(gain, sizeof gain, "%.2fx",
                   static_cast<double>(ser.cycles) /
@@ -39,11 +51,12 @@ int main(int argc, char** argv) {
     t.row(static_cast<int>(lanes), ser.cpt(n), par.cpt(n),
           std::string{gain});
   }
-  t.print(std::cout);
-  std::printf(
-      "\nWith one lane the serial variant is already competitive (the "
-      "paper's 'works well both with and without parallel lockstepped "
-      "lanes'); at higher lane counts the serial unit becomes the "
-      "bottleneck and the parallel variant pays off.\n");
-  return 0;
+  if (ctx.printing()) {
+    t.print(std::cout);
+    std::printf(
+        "\nWith one lane the serial variant is already competitive (the "
+        "paper's 'works well both with and without parallel lockstepped "
+        "lanes'); at higher lane counts the serial unit becomes the "
+        "bottleneck and the parallel variant pays off.\n");
+  }
 }

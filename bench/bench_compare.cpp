@@ -1,0 +1,116 @@
+// Baseline comparison driver for the perf-trend CI: diffs a
+// BENCH_results.json (produced by raa_bench_all --json=...) against a
+// checked-in bench/baselines/*.json and exits nonzero when any metric
+// drifts beyond its tolerance or disappears. See docs/BENCHMARKS.md for
+// the schema and workflow.
+//
+// Flags:
+//   --results=PATH     results file to check (required)
+//   --baseline=PATH    baseline file to check against (required)
+//   --tolerance=F      default relative tolerance (default 0.05); a
+//                      per-metric "tolerance" field in the baseline wins
+//   --report-only      always exit 0 on comparison findings (I/O or schema
+//                      errors still fail); used by CI while a trend is
+//                      being established
+//   --verbose          print every metric row, not just the violations
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "report/compare.hpp"
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out,
+               std::string& error) {
+  std::ifstream in{path};
+  if (!in) {
+    error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+bool load_json(const std::string& path, raa::json::Value& out) {
+  std::string text, error;
+  if (!read_file(path, text, error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return false;
+  }
+  auto parsed = raa::json::Value::parse(text, &error);
+  if (!parsed) {
+    std::fprintf(stderr, "error: %s: %s\n", path.c_str(), error.c_str());
+    return false;
+  }
+  out = std::move(*parsed);
+  return true;
+}
+
+std::string fmt(double v, const char* spec = "%.6g") {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, spec, v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const raa::Cli cli{argc, argv};
+  const std::string results_path = cli.get_string("results", "");
+  const std::string baseline_path = cli.get_string("baseline", "");
+  if (results_path.empty() || baseline_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_compare --results=PATH --baseline=PATH "
+                 "[--tolerance=F] [--report-only] [--verbose]\n");
+    return 2;
+  }
+  const bool report_only = cli.get_bool("report-only", false);
+  const bool verbose = cli.get_bool("verbose", false);
+
+  raa::json::Value results, baseline;
+  if (!load_json(results_path, results) ||
+      !load_json(baseline_path, baseline))
+    return 2;
+
+  raa::report::CompareOptions options;
+  options.default_tolerance = cli.get_double("tolerance", 0.05);
+
+  raa::report::CompareResult cmp;
+  try {
+    cmp = raa::report::compare(baseline, results, options);
+  } catch (const std::runtime_error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+
+  raa::Table table{{"benchmark", "metric", "baseline", "measured", "rel",
+                    "tol", "status"}};
+  for (const auto& d : cmp.deltas) {
+    if (!verbose && d.kind == raa::report::DeltaKind::ok) continue;
+    table.row(d.benchmark, d.metric, fmt(d.baseline),
+              d.kind == raa::report::DeltaKind::missing ? "-"
+                                                        : fmt(d.measured),
+              fmt(100.0 * d.rel, "%.2f%%"), fmt(100.0 * d.tolerance, "%.1f%%"),
+              raa::report::to_string(d.kind));
+  }
+  if (table.rows() > 0) table.print(std::cout);
+
+  const std::size_t violations = cmp.violations();
+  std::printf(
+      "%zu baseline metric%s compared: %zu ok, %zu violation%s; %zu metric%s "
+      "only in the results\n",
+      cmp.deltas.size(), cmp.deltas.size() == 1 ? "" : "s",
+      cmp.deltas.size() - violations, violations,
+      violations == 1 ? "" : "s", cmp.extra_metrics,
+      cmp.extra_metrics == 1 ? "" : "s");
+  if (violations > 0 && report_only)
+    std::printf("(report-only mode: not failing the build)\n");
+  return violations > 0 && !report_only ? 1 : 0;
+}

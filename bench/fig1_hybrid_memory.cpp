@@ -5,18 +5,19 @@
 // Paper reference values: average improvements of 14.7% (execution time),
 // 18.5% (energy), 31.2% (NoC traffic); EP shows no degradation.
 //
-// Flags: --tiles=64 --scale=1 --verbose
+// Flags: --tiles=64 --scale=1 --verbose (plus the harness flags, see
+// bench/harness.hpp)
 #include <cstdio>
 #include <iostream>
 
-#include "common/cli.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "harness.hpp"
 #include "kernels/nas.hpp"
 #include "memsim/system.hpp"
 
-int main(int argc, char** argv) {
-  const raa::Cli cli{argc, argv};
+RAA_BENCHMARK("fig1_hybrid_memory", "§2 Figure 1") {
+  const raa::Cli& cli = ctx.cli;
   raa::mem::SystemConfig cfg;
   cfg.tiles = static_cast<unsigned>(cli.get_int("tiles", 64));
   // Square-ish mesh.
@@ -29,11 +30,14 @@ int main(int argc, char** argv) {
   }
   const auto scale = static_cast<unsigned>(cli.get_int("scale", 1));
   const bool verbose = cli.get_bool("verbose", false);
+  ctx.report.set_param("tiles", std::to_string(cfg.tiles));
+  ctx.report.set_param("scale", std::to_string(scale));
 
-  std::printf(
-      "Figure 1: hybrid SPM+cache hierarchy vs cache-only, %u tiles "
-      "(paper: avg 1.147x time, 1.185x energy, 1.312x NoC)\n\n",
-      cfg.tiles);
+  if (ctx.printing())
+    std::printf(
+        "Figure 1: hybrid SPM+cache hierarchy vs cache-only, %u tiles "
+        "(paper: avg 1.147x time, 1.185x energy, 1.312x NoC)\n\n",
+        cfg.tiles);
 
   raa::Table table{{"benchmark", "time x", "energy x", "noc x"}};
   std::vector<double> ts, es, ns;
@@ -55,8 +59,11 @@ int main(int argc, char** argv) {
     ts.push_back(t);
     es.push_back(e);
     ns.push_back(n);
+    ctx.report.record("time_x/" + kernel.name, t, "x");
+    ctx.report.record("energy_x/" + kernel.name, e, "x");
+    ctx.report.record("noc_x/" + kernel.name, n, "x");
     table.row(kernel.name, t, e, n);
-    if (verbose) {
+    if (ctx.printing() && verbose) {
       std::printf(
           "  %s base:   l1m=%llu l2m=%llu dram_rd=%llu prefetch=%llu\n",
           kernel.name.c_str(),
@@ -74,11 +81,15 @@ int main(int argc, char** argv) {
     }
   }
   table.row("AVG", raa::mean(ts), raa::mean(es), raa::mean(ns));
-  table.print(std::cout);
-  std::printf(
-      "\nmeasured avg improvements: time %+.1f%%, energy %+.1f%%, "
-      "NoC %+.1f%%  (paper: +14.7%% / +18.5%% / +31.2%%)\n",
-      (raa::mean(ts) - 1.0) * 100.0, (raa::mean(es) - 1.0) * 100.0,
-      (raa::mean(ns) - 1.0) * 100.0);
-  return 0;
+  ctx.report.record("time_x/avg", raa::mean(ts), "x", 1.147);
+  ctx.report.record("energy_x/avg", raa::mean(es), "x", 1.185);
+  ctx.report.record("noc_x/avg", raa::mean(ns), "x", 1.312);
+  if (ctx.printing()) {
+    table.print(std::cout);
+    std::printf(
+        "\nmeasured avg improvements: time %+.1f%%, energy %+.1f%%, "
+        "NoC %+.1f%%  (paper: +14.7%% / +18.5%% / +31.2%%)\n",
+        (raa::mean(ts) - 1.0) * 100.0, (raa::mean(es) - 1.0) * 100.0,
+        (raa::mean(ns) - 1.0) * 100.0);
+  }
 }

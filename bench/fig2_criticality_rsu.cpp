@@ -7,20 +7,22 @@
 // scheduling on a simulated 32-core processor; the software-only
 // reconfiguration cost "rises with the number of cores".
 //
-// Flags: --cores=32 --task-cycles=1000000
+// Flags: --cores=32 --task-cycles=1000000 (plus the harness flags, see
+// bench/harness.hpp)
 #include <cstdio>
 #include <iostream>
 
-#include "common/cli.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "harness.hpp"
 #include "rsu/rsu.hpp"
 #include "runtime/graph.hpp"
 
-int main(int argc, char** argv) {
-  const raa::Cli cli{argc, argv};
+RAA_BENCHMARK("fig2_criticality_rsu", "§3.1 Figure 2") {
+  const raa::Cli& cli = ctx.cli;
   const auto cores = static_cast<unsigned>(cli.get_int("cores", 32));
   const double c = cli.get_double("task-cycles", 1.0e6);  // ~500us tasks
+  ctx.report.set_param("cores", std::to_string(cores));
 
   using raa::tdg::Graph;
   using raa::tdg::Synthetic;
@@ -37,10 +39,11 @@ int main(int argc, char** argv) {
       {"chain-100", Synthetic::chain(100, c)},
   };
 
-  std::printf(
-      "Sec. 3.1: criticality-aware DVFS vs static scheduling, %u cores "
-      "(paper: +6.6%% perf, +20.0%% EDP)\n\n",
-      cores);
+  if (ctx.printing())
+    std::printf(
+        "Sec. 3.1: criticality-aware DVFS vs static scheduling, %u cores "
+        "(paper: +6.6%% perf, +20.0%% EDP)\n\n",
+        cores);
 
   raa::sim::MachineConfig machine{.cores = cores};
   raa::Table table{{"workload", "parallelism", "perf RSU", "EDP RSU",
@@ -50,6 +53,10 @@ int main(int argc, char** argv) {
     const auto study = raa::rsu::run_criticality_study(w.graph, machine);
     perf.push_back(study.perf_improvement_rsu());
     edp.push_back(study.edp_improvement_rsu());
+    ctx.report.record(std::string{"perf_improvement/"} + w.name,
+                      study.perf_improvement_rsu(), "frac");
+    ctx.report.record(std::string{"edp_improvement/"} + w.name,
+                      study.edp_improvement_rsu(), "frac");
     const auto pct = [](double x) {
       char buf[32];
       std::snprintf(buf, sizeof buf, "%+.1f%%", 100.0 * x);
@@ -61,14 +68,19 @@ int main(int argc, char** argv) {
               pct(study.perf_improvement_sw()),
               pct(study.edp_improvement_sw()));
   }
-  table.print(std::cout);
-  std::printf(
-      "\nmeasured avg: perf %+.1f%%, EDP %+.1f%%  (paper: +6.6%% / "
-      "+20.0%%)\n\n",
-      100.0 * raa::mean(perf), 100.0 * raa::mean(edp));
+  ctx.report.record("perf_improvement/avg", raa::mean(perf), "frac", 0.066);
+  ctx.report.record("edp_improvement/avg", raa::mean(edp), "frac", 0.20);
+  if (ctx.printing()) {
+    table.print(std::cout);
+    std::printf(
+        "\nmeasured avg: perf %+.1f%%, EDP %+.1f%%  (paper: +6.6%% / "
+        "+20.0%%)\n\n",
+        100.0 * raa::mean(perf), 100.0 * raa::mean(edp));
+  }
 
   // --- mechanism scaling: per-switch cost vs core count ---
-  std::printf("reconfiguration mechanism cost vs core count\n");
+  if (ctx.printing())
+    std::printf("reconfiguration mechanism cost vs core count\n");
   raa::Table scaling{{"cores", "SW stall/switch (ns)", "RSU stall/switch (ns)"}};
   for (const unsigned p : {8u, 16u, 32u, 64u, 128u}) {
     // A wide fork-join forces simultaneous reconfiguration on all cores.
@@ -86,11 +98,15 @@ int main(int argc, char** argv) {
                        static_cast<double>(gov.reconfig_count())
                  : 0.0;
     };
+    const std::string suffix = "/cores" + std::to_string(p);
+    ctx.report.record("sw_stall_per_switch" + suffix, per(sw), "ns");
+    ctx.report.record("rsu_stall_per_switch" + suffix, per(hw), "ns");
     scaling.row(static_cast<int>(p), per(sw), per(hw));
   }
-  scaling.print(std::cout);
-  std::printf(
-      "\nSW-only cost grows with cores (global-lock serialisation); the RSU "
-      "stays flat — the Figure 2 motivation.\n");
-  return 0;
+  if (ctx.printing()) {
+    scaling.print(std::cout);
+    std::printf(
+        "\nSW-only cost grows with cores (global-lock serialisation); the RSU "
+        "stays flat — the Figure 2 motivation.\n");
+  }
 }

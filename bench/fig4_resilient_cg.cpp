@@ -10,13 +10,14 @@
 // table in docs/ARCHITECTURE.md);
 // --grid sets the side (n = grid^2).
 //
-// Flags: --grid=256 --inject-frac=0.5 --ckpt-interval=1000 --series
+// Flags: --grid=256 --inject-frac=0.5 --ckpt-interval=1000 --series (plus
+// the harness flags, see bench/harness.hpp)
 #include <cmath>
 #include <cstdio>
 #include <iostream>
 
-#include "common/cli.hpp"
 #include "common/table.hpp"
+#include "harness.hpp"
 #include "solver/cg.hpp"
 
 namespace {
@@ -41,20 +42,23 @@ raa::solver::CgResult run(const raa::solver::Csr& a,
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const raa::Cli cli{argc, argv};
+RAA_BENCHMARK("fig4_resilient_cg", "§4 Figure 4") {
+  const raa::Cli& cli = ctx.cli;
   const auto grid = static_cast<std::size_t>(cli.get_int("grid", 256));
   const double inject_frac = cli.get_double("inject-frac", 0.5);
   const auto ckpt_interval =
       static_cast<std::size_t>(cli.get_int("ckpt-interval", 1000));
   const bool series = cli.get_bool("series", false);
+  ctx.report.set_param("grid", std::to_string(grid));
+  ctx.report.set_param("ckpt_interval", std::to_string(ckpt_interval));
 
   const auto a = raa::solver::laplacian_2d(grid, grid);
   const std::vector<double> b(a.n, 1.0);
-  std::printf(
-      "Figure 4: CG with one DUE (thermal2 stand-in: 2-D Poisson %zux%zu, "
-      "n=%zu, nnz=%zu)\n\n",
-      grid, grid, a.n, a.nnz());
+  if (ctx.printing())
+    std::printf(
+        "Figure 4: CG with one DUE (thermal2 stand-in: 2-D Poisson %zux%zu, "
+        "n=%zu, nnz=%zu)\n\n",
+        grid, grid, a.n, a.nnz());
 
   // Ideal run defines the injection point (paper: ~30 s of ~70 s).
   const auto ideal = run(a, b, raa::solver::Recovery::none, 0, ckpt_interval);
@@ -81,6 +85,14 @@ int main(int argc, char** argv) {
   raa::Table summary{{"mechanism", "time (ms)", "overhead vs ideal",
                       "iterations", "recovery (us)"}};
   for (const auto& s : all) {
+    const std::string key{s.name == std::string{"Lossy Restart"}
+                              ? "LossyRestart"
+                              : s.name};
+    ctx.report.record("time_ms/" + key, 1e3 * s.result.time_s, "ms");
+    ctx.report.record("overhead_frac/" + key,
+                      s.result.time_s / ideal.time_s - 1.0, "frac");
+    ctx.report.record("iterations/" + key,
+                      static_cast<double>(s.result.iterations), "iters");
     char over[32], rec[32];
     std::snprintf(over, sizeof over, "%+.2f%%",
                   100.0 * (s.result.time_s / ideal.time_s - 1.0));
@@ -88,14 +100,16 @@ int main(int argc, char** argv) {
     summary.row(s.name, 1e3 * s.result.time_s, std::string{over},
                 static_cast<long>(s.result.iterations), std::string{rec});
   }
-  summary.print(std::cout);
-  std::printf(
-      "\nDUE injected at iteration %zu (%.0f%% of the ideal solve); paper "
-      "shape: Ckpt pays a rollback, Lossy Restart converges slower, FEIR "
-      "tracks Ideal, AFEIR overhead is smallest.\n",
-      inject_at, 100.0 * inject_frac);
+  if (ctx.printing()) {
+    summary.print(std::cout);
+    std::printf(
+        "\nDUE injected at iteration %zu (%.0f%% of the ideal solve); paper "
+        "shape: Ckpt pays a rollback, Lossy Restart converges slower, FEIR "
+        "tracks Ideal, AFEIR overhead is smallest.\n",
+        inject_at, 100.0 * inject_frac);
+  }
 
-  if (series) {
+  if (ctx.printing() && series) {
     std::printf("\ntime_ms log10_rel_residual per mechanism\n");
     for (const auto& s : all) {
       std::printf("# %s\n", s.name);
@@ -106,5 +120,4 @@ int main(int argc, char** argv) {
                     std::log10(std::max(tr[i].rel_residual, 1e-300)));
     }
   }
-  return 0;
 }

@@ -7,23 +7,27 @@
 //
 // Scaling is replayed on a simulated machine (this container has one CPU;
 // see the substitution table in docs/ARCHITECTURE.md).
-// Flags: --cores=16 --frames=30
+// Flags: --cores=16 --frames=30 (plus the harness flags, see
+// bench/harness.hpp)
 #include <cstdio>
 #include <iostream>
 
 #include "apps/miniapps.hpp"
-#include "common/cli.hpp"
 #include "common/table.hpp"
+#include "harness.hpp"
 
-int main(int argc, char** argv) {
-  const raa::Cli cli{argc, argv};
+RAA_BENCHMARK("fig5_task_scalability", "§5 Figure 5") {
+  const raa::Cli& cli = ctx.cli;
   const auto cores = static_cast<unsigned>(cli.get_int("cores", 16));
   const auto frames = static_cast<std::size_t>(cli.get_int("frames", 30));
+  ctx.report.set_param("cores", std::to_string(cores));
+  ctx.report.set_param("frames", std::to_string(frames));
 
-  std::printf(
-      "Figure 5: OmpSs (dataflow) vs Pthreads (fork-join) scalability on a "
-      "simulated %u-core machine\n\n",
-      cores);
+  if (ctx.printing())
+    std::printf(
+        "Figure 5: OmpSs (dataflow) vs Pthreads (fork-join) scalability on a "
+        "simulated %u-core machine\n\n",
+        cores);
 
   struct App {
     const char* name;
@@ -42,17 +46,29 @@ int main(int argc, char** argv) {
   for (const auto& app : apps) {
     const auto orig = raa::apps::scalability_curve(app.original, cores);
     const auto ompss = raa::apps::scalability_curve(app.ompss, cores);
-    std::printf("%s speedup vs threads (paper: OmpSs ~%sx at 16)\n",
-                app.name,
-                std::string(app.name) == "bodytrack" ? "12" : "10");
-    raa::Table t{{"threads", "Original (Pthreads)", "OmpSs"}};
-    for (unsigned p = 2; p <= cores; p += 2)
-      t.row(static_cast<int>(p), orig[p - 1], ompss[p - 1]);
-    t.print(std::cout);
-    std::printf("\n");
+    const double paper_at_16 =
+        std::string(app.name) == "bodytrack" ? 12.0 : 10.0;
+    for (const unsigned p : {cores / 2, cores}) {
+      if (p == 0) continue;
+      const std::string suffix = "_at" + std::to_string(p);
+      ctx.report.record(std::string{"speedup_pthreads/"} + app.name + suffix,
+                        orig[p - 1], "x");
+      ctx.report.record(
+          std::string{"speedup_ompss/"} + app.name + suffix, ompss[p - 1],
+          "x", p == 16 ? std::optional<double>{paper_at_16} : std::nullopt);
+    }
+    if (ctx.printing()) {
+      std::printf("%s speedup vs threads (paper: OmpSs ~%.0fx at 16)\n",
+                  app.name, paper_at_16);
+      raa::Table t{{"threads", "Original (Pthreads)", "OmpSs"}};
+      for (unsigned p = 2; p <= cores; p += 2)
+        t.row(static_cast<int>(p), orig[p - 1], ompss[p - 1]);
+      t.print(std::cout);
+      std::printf("\n");
+    }
   }
-  std::printf(
-      "The dataflow ports overlap the per-frame serial stage with the "
-      "previous frame's parallel work; the fork-join originals cannot.\n");
-  return 0;
+  if (ctx.printing())
+    std::printf(
+        "The dataflow ports overlap the per-frame serial stage with the "
+        "previous frame's parallel work; the fork-join originals cannot.\n");
 }

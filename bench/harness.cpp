@@ -1,0 +1,81 @@
+#include "harness.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace raa::bench {
+
+std::vector<Spec>& registry() {
+  static std::vector<Spec> specs;
+  return specs;
+}
+
+int register_bench(Spec spec) {
+  registry().push_back(std::move(spec));
+  return 0;
+}
+
+int harness_main(int argc, char** argv) {
+  const raa::Cli cli{argc, argv};
+
+  std::vector<Spec> specs = registry();
+  std::sort(specs.begin(), specs.end(),
+            [](const Spec& a, const Spec& b) { return a.name < b.name; });
+
+  if (cli.get_bool("list", false)) {
+    for (const auto& s : specs) std::printf("%s\n", s.name.c_str());
+    return 0;
+  }
+  if (cli.get_bool("help", false)) {
+    std::printf(
+        "usage: %s [--reps=N] [--json=PATH] [--only=NAME] [--list] "
+        "[bench-specific flags]\n",
+        argc > 0 ? argv[0] : "bench");
+    return 0;
+  }
+
+  const std::string only = cli.get_string("only", "");
+  if (!only.empty()) {
+    std::erase_if(specs, [&](const Spec& s) { return s.name != only; });
+    if (specs.empty()) {
+      std::fprintf(stderr, "error: no registered benchmark named '%s'; "
+                           "use --list to see the choices\n",
+                   only.c_str());
+      return 2;
+    }
+  }
+
+  const int reps =
+      static_cast<int>(std::max<std::int64_t>(1, cli.get_int("reps", 1)));
+  report::RunReport run{reps};
+  for (const auto& spec : specs) {
+    if (specs.size() > 1)
+      std::printf("==== %s ====\n", spec.name.c_str());
+    report::BenchReport& bench_report =
+        run.benchmark(spec.name, spec.paper_ref);
+    for (int rep = 0; rep < reps; ++rep) {
+      Context ctx{cli, bench_report, rep, reps};
+      spec.fn(ctx);
+    }
+    if (specs.size() > 1) std::printf("\n");
+  }
+
+  const std::string json_path = cli.get_string("json", "");
+  if (!json_path.empty()) {
+    std::string error;
+    if (!run.write_file(json_path, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu benchmark%s, reps=%d)\n", json_path.c_str(),
+                run.benchmarks().size(),
+                run.benchmarks().size() == 1 ? "" : "s", reps);
+  }
+  return 0;
+}
+
+}  // namespace raa::bench
+
+int main(int argc, char** argv) {
+  return raa::bench::harness_main(argc, argv);
+}

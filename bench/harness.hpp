@@ -1,0 +1,71 @@
+#pragma once
+/// \file harness.hpp
+/// Shared entry point for the figure/ablation benches. Each bench source
+/// defines its body with RAA_BENCHMARK(name, paper_ref) { ... } instead of
+/// main(); linking bench/harness.cpp provides a main() that parses the
+/// common flags, runs every registered benchmark and writes the merged
+/// machine-readable report:
+///
+///   --reps=N       repeat each benchmark body N times (default 1); metric
+///                  samples accumulate across repetitions
+///   --json=PATH    write the merged RunReport (BENCH_results.json schema)
+///   --only=NAME    run a single registered benchmark (raa_bench_all)
+///   --list         print registered benchmark names and exit
+///
+/// Single-figure binaries register exactly one benchmark; raa_bench_all
+/// links all bench sources and therefore registers all of them. Table
+/// output goes to stdout on the first repetition only (guard any direct
+/// printing with ctx.printing()).
+
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "report/report.hpp"
+
+namespace raa::bench {
+
+/// Passed to every benchmark body.
+struct Context {
+  const raa::Cli& cli;            ///< parsed command line (bench flags)
+  report::BenchReport& report;    ///< record() headline metrics here
+  int rep = 0;                    ///< current repetition, 0-based
+  int reps = 1;                   ///< total repetitions
+
+  /// True on the repetition whose tables should be printed.
+  bool printing() const noexcept { return rep == 0; }
+};
+
+using BenchFn = void (*)(Context&);
+
+struct Spec {
+  std::string name;       ///< binary-style name, e.g. "fig1_hybrid_memory"
+  std::string paper_ref;  ///< e.g. "§2 Figure 1"
+  BenchFn fn = nullptr;
+};
+
+/// Registration order across translation units is unspecified; the harness
+/// runs benchmarks sorted by name.
+std::vector<Spec>& registry();
+int register_bench(Spec spec);
+
+/// The shared main(); returns the process exit code.
+int harness_main(int argc, char** argv);
+
+}  // namespace raa::bench
+
+#define RAA_BENCH_CONCAT_(a, b) a##b
+#define RAA_BENCH_CONCAT(a, b) RAA_BENCH_CONCAT_(a, b)
+
+/// Defines and registers a benchmark body:
+///   RAA_BENCHMARK("fig1_hybrid_memory", "§2 Figure 1") { ... use ctx ... }
+#define RAA_BENCHMARK(name_str, paper_ref_str)                            \
+  static void RAA_BENCH_CONCAT(raa_bench_body_, __LINE__)(                \
+      raa::bench::Context&);                                              \
+  [[maybe_unused]] static const int RAA_BENCH_CONCAT(raa_bench_reg_,      \
+                                                     __LINE__) =          \
+      raa::bench::register_bench(                                        \
+          {name_str, paper_ref_str,                                      \
+           &RAA_BENCH_CONCAT(raa_bench_body_, __LINE__)});               \
+  static void RAA_BENCH_CONCAT(raa_bench_body_, __LINE__)(                \
+      raa::bench::Context& ctx)

@@ -1,6 +1,7 @@
 #include "common/stats.hpp"
 
 #include <algorithm>
+#include <vector>
 
 namespace raa {
 
@@ -38,6 +39,19 @@ double mean(std::span<const double> xs) noexcept {
   double sum = 0.0;
   for (const double x : xs) sum += x;
   return sum / static_cast<double>(xs.size());
+}
+
+double median(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> v(xs.begin(), xs.end());
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
+                   v.end());
+  const double hi = v[mid];
+  if (v.size() % 2 == 1) return hi;
+  const double lo =
+      *std::max_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
 }
 
 double rel_diff(double a, double b, double eps) noexcept {

@@ -26,6 +26,10 @@ double geomean(std::span<const double> xs) noexcept;
 /// Arithmetic mean; returns 0 for an empty span.
 double mean(std::span<const double> xs) noexcept;
 
+/// Median (average of the two middle values for even counts); returns 0
+/// for an empty span.
+double median(std::span<const double> xs);
+
 /// Relative difference |a-b| / max(|a|,|b|, eps).
 double rel_diff(double a, double b, double eps = 1e-300) noexcept;
 

@@ -1,0 +1,143 @@
+#include "report/report.hpp"
+
+#include <fstream>
+
+namespace raa::report {
+
+Environment Environment::capture() {
+  Environment e;
+#ifdef RAA_BUILD_TYPE
+  e.build_type = RAA_BUILD_TYPE;
+#else
+  e.build_type = "unknown";
+#endif
+#if defined(__clang__)
+  e.compiler = "Clang " __clang_version__;
+#elif defined(__GNUC__)
+  e.compiler = "GCC " __VERSION__;
+#else
+  e.compiler = "unknown";
+#endif
+#ifdef RAA_GIT_SHA
+  e.git_sha = RAA_GIT_SHA;
+#else
+  e.git_sha = "unknown";
+#endif
+#if defined(__linux__)
+  e.os = "linux";
+#elif defined(__APPLE__)
+  e.os = "darwin";
+#elif defined(_WIN32)
+  e.os = "windows";
+#else
+  e.os = "unknown";
+#endif
+  return e;
+}
+
+json::Value Environment::to_json() const {
+  json::Value v{json::Object{}};
+  v.set("build_type", build_type);
+  v.set("compiler", compiler);
+  v.set("git_sha", git_sha);
+  v.set("os", os);
+  return v;
+}
+
+Summary Metric::summary() const noexcept { return summarize(samples_); }
+
+double Metric::median() const { return raa::median(samples_); }
+
+json::Value Metric::to_json() const {
+  json::Value v{json::Object{}};
+  v.set("name", name_);
+  if (!unit_.empty()) v.set("unit", unit_);
+  if (paper_value_) v.set("paper_value", *paper_value_);
+  const Summary s = summary();
+  v.set("count", s.count);
+  v.set("min", s.min);
+  v.set("median", median());
+  v.set("mean", s.mean);
+  v.set("max", s.max);
+  v.set("stddev", s.stddev);
+  json::Value samples{json::Array{}};
+  for (const double x : samples_) samples.push_back(x);
+  v.set("samples", std::move(samples));
+  return v;
+}
+
+void BenchReport::set_param(const std::string& key, const std::string& value) {
+  for (auto& [k, v] : params_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  params_.emplace_back(key, value);
+}
+
+Metric& BenchReport::metric(const std::string& name, const std::string& unit,
+                            std::optional<double> paper_value) {
+  for (auto& m : metrics_)
+    if (m.name() == name) return m;
+  metrics_.emplace_back(name, unit, paper_value);
+  return metrics_.back();
+}
+
+void BenchReport::record(const std::string& name, double value,
+                         const std::string& unit,
+                         std::optional<double> paper_value) {
+  metric(name, unit, paper_value).add_sample(value);
+}
+
+json::Value BenchReport::to_json() const {
+  json::Value v{json::Object{}};
+  v.set("name", name_);
+  v.set("paper_reference", paper_ref_);
+  if (!params_.empty()) {
+    json::Value params{json::Object{}};
+    for (const auto& [k, val] : params_) params.set(k, val);
+    v.set("params", std::move(params));
+  }
+  json::Value metrics{json::Array{}};
+  for (const auto& m : metrics_) metrics.push_back(m.to_json());
+  v.set("metrics", std::move(metrics));
+  return v;
+}
+
+BenchReport& RunReport::benchmark(const std::string& name,
+                                  const std::string& paper_ref) {
+  for (auto& b : benchmarks_)
+    if (b.name() == name) return b;
+  benchmarks_.emplace_back(name, paper_ref);
+  return benchmarks_.back();
+}
+
+json::Value RunReport::to_json() const {
+  json::Value v{json::Object{}};
+  v.set("schema", kSchemaName);
+  v.set("schema_version", kSchemaVersion);
+  v.set("reps", reps_);
+  v.set("environment", env_.to_json());
+  json::Value benches{json::Array{}};
+  for (const auto& b : benchmarks_) benches.push_back(b.to_json());
+  v.set("benchmarks", std::move(benches));
+  return v;
+}
+
+bool RunReport::write_file(const std::string& path, std::string* error) const {
+  std::ofstream out{path};
+  if (!out) {
+    if (error) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  out << to_json().dump(2) << '\n';
+  out.flush();
+  if (!out) {
+    if (error) *error = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace raa::report

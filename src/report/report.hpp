@@ -1,0 +1,121 @@
+#pragma once
+/// \file report.hpp
+/// Machine-readable benchmark reports. Every figure/ablation bench records
+/// its headline numbers into a BenchReport; a RunReport aggregates all
+/// benchmarks of one invocation plus the environment (build type, compiler,
+/// git sha) and serialises to the BENCH_results.json schema documented in
+/// docs/BENCHMARKS.md. Repetition statistics (min/median/mean/stddev) reuse
+/// common/stats.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "report/json.hpp"
+
+namespace raa::report {
+
+/// Bumped whenever the JSON layout changes incompatibly; compare refuses
+/// to diff files with a different version.
+inline constexpr int kSchemaVersion = 1;
+inline constexpr const char* kSchemaName = "raa-bench-results";
+
+/// Build/toolchain provenance embedded in every report.
+struct Environment {
+  std::string build_type;  ///< CMake config (Release, Debug, ...)
+  std::string compiler;    ///< e.g. "GCC 12.2.0"
+  std::string git_sha;     ///< configure-time short sha, or "unknown"
+  std::string os;          ///< "linux", "darwin", ...
+
+  static Environment capture();
+  json::Value to_json() const;
+};
+
+/// One metric: a named series of per-repetition samples plus metadata.
+class Metric {
+ public:
+  Metric(std::string name, std::string unit, std::optional<double> paper_value)
+      : name_(std::move(name)),
+        unit_(std::move(unit)),
+        paper_value_(paper_value) {}
+
+  const std::string& name() const noexcept { return name_; }
+  const std::string& unit() const noexcept { return unit_; }
+  std::optional<double> paper_value() const noexcept { return paper_value_; }
+  const std::vector<double>& samples() const noexcept { return samples_; }
+
+  void add_sample(double v) { samples_.push_back(v); }
+
+  /// count/mean/stddev/min/max over the samples (common/stats Welford).
+  Summary summary() const noexcept;
+  double median() const;
+
+  json::Value to_json() const;
+
+ private:
+  std::string name_;
+  std::string unit_;
+  std::optional<double> paper_value_;
+  std::vector<double> samples_;
+};
+
+/// Per-benchmark aggregation: parameters + metrics.
+class BenchReport {
+ public:
+  BenchReport(std::string name, std::string paper_ref)
+      : name_(std::move(name)), paper_ref_(std::move(paper_ref)) {}
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Record the effective value of a bench parameter (e.g. tiles=64).
+  /// Re-setting a key overwrites; repetition-idempotent.
+  void set_param(const std::string& key, const std::string& value);
+
+  /// Get-or-create a metric. unit/paper_value are taken from the first
+  /// call for a given name; later calls just return the series.
+  Metric& metric(const std::string& name, const std::string& unit = "",
+                 std::optional<double> paper_value = std::nullopt);
+
+  /// Shorthand: metric(...).add_sample(value).
+  void record(const std::string& name, double value,
+              const std::string& unit = "",
+              std::optional<double> paper_value = std::nullopt);
+
+  const std::vector<Metric>& metrics() const noexcept { return metrics_; }
+
+  json::Value to_json() const;
+
+ private:
+  std::string name_;
+  std::string paper_ref_;
+  std::vector<std::pair<std::string, std::string>> params_;
+  std::vector<Metric> metrics_;
+};
+
+/// Whole-run aggregation: environment + repetition count + all benchmarks.
+class RunReport {
+ public:
+  explicit RunReport(int reps) : reps_(reps), env_(Environment::capture()) {}
+
+  /// Get-or-create the report for one benchmark.
+  BenchReport& benchmark(const std::string& name,
+                         const std::string& paper_ref);
+
+  const std::vector<BenchReport>& benchmarks() const noexcept {
+    return benchmarks_;
+  }
+
+  json::Value to_json() const;
+
+  /// Pretty-print to a file; returns false and fills `error` on I/O
+  /// failure.
+  bool write_file(const std::string& path, std::string* error = nullptr) const;
+
+ private:
+  int reps_;
+  Environment env_;
+  std::vector<BenchReport> benchmarks_;
+};
+
+}  // namespace raa::report
