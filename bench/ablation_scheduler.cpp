@@ -49,6 +49,7 @@ RAA_BENCHMARK("ablation_scheduler", "§3.1 scheduling-policy ablation") {
           raa::sim::replay(w.g, m, raa::sim::priority_fifo());
       const auto blevel =
           raa::sim::replay(w.g, m, raa::sim::priority_bottom_level());
+      ctx.add_tasks(2.0 * static_cast<double>(w.g.node_count()));
       const double ratio = fifo.makespan_ns / blevel.makespan_ns;
       ctx.report.record(std::string{"makespan_ratio/"} + w.name + "_cores" +
                             std::to_string(cores),

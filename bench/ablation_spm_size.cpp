@@ -3,7 +3,8 @@
 // double-buffered) via the DMA chunk size, on the stream-heaviest kernel
 // (SP) and the gather-heavy one (CG).
 //
-// Flags: --tiles=64 (plus the harness flags, see bench/harness.hpp)
+// Flags: --tiles=64 --scale=1 (plus the harness flags, see
+// bench/harness.hpp)
 #include <cstdio>
 #include <iostream>
 
@@ -16,7 +17,9 @@ RAA_BENCHMARK("ablation_spm_size", "§2 SPM-size ablation") {
   const raa::Cli& cli = ctx.cli;
   raa::mem::SystemConfig base_cfg;
   base_cfg.tiles = static_cast<unsigned>(cli.get_int("tiles", 64));
+  const auto scale = static_cast<unsigned>(cli.get_int("scale", 1));
   ctx.report.set_param("tiles", std::to_string(base_cfg.tiles));
+  ctx.report.set_param("scale", std::to_string(scale));
 
   if (ctx.printing())
     std::printf(
@@ -37,15 +40,17 @@ RAA_BENCHMARK("ablation_spm_size", "§2 SPM-size ablation") {
                        [&](const auto& k) { return k.name == name; });
       raa::mem::Metrics base, hyb;
       {
-        auto w = it->make(cfg, 1);
+        auto w = it->make(cfg, scale);
         raa::mem::System sys{cfg, raa::mem::HierarchyMode::cache_only};
         base = sys.run(w);
       }
       {
-        auto w = it->make(cfg, 1);
+        auto w = it->make(cfg, scale);
         raa::mem::System sys{cfg, raa::mem::HierarchyMode::hybrid};
         hyb = sys.run(w);
       }
+      ctx.add_accesses(static_cast<double>(base.accesses) +
+                       static_cast<double>(hyb.accesses));
       const double time_x = base.cycles / hyb.cycles;
       const double noc_x = base.noc_flit_hops / hyb.noc_flit_hops;
       const std::string suffix =

@@ -13,6 +13,9 @@
 //                      errors still fail); used by CI while a trend is
 //                      being established
 //   --verbose          print every metric row, not just the violations
+//   --wall-summary     print the informational host-throughput metrics
+//                      (wall_seconds, accesses_per_second, tasks_per_second)
+//                      found in the results file; these are never gated
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -59,6 +62,36 @@ std::string fmt(double v, const char* spec = "%.6g") {
   return buf;
 }
 
+/// Print one "[throughput] bench: wall 1.2s, 3.4e+06 accesses/s" line per
+/// benchmark that recorded informational host metrics.
+void print_wall_summary(const raa::json::Value& results) {
+  const auto* benches = results.find("benchmarks");
+  if (!benches || !benches->is_array()) return;
+  for (const auto& b : benches->as_array()) {
+    const auto* name = b.find("name");
+    const auto* metrics = b.find("metrics");
+    if (!name || !name->is_string() || !metrics || !metrics->is_array())
+      continue;
+    double wall = -1.0, aps = -1.0, tps = -1.0;
+    for (const auto& m : metrics->as_array()) {
+      const auto* mn = m.find("name");
+      const auto* median = m.find("median");
+      if (!mn || !mn->is_string() || !median || !median->is_number())
+        continue;
+      if (mn->as_string() == "wall_seconds") wall = median->as_number();
+      if (mn->as_string() == "accesses_per_second")
+        aps = median->as_number();
+      if (mn->as_string() == "tasks_per_second") tps = median->as_number();
+    }
+    if (wall < 0.0 && aps < 0.0 && tps < 0.0) continue;
+    std::printf("[throughput] %s:", name->as_string().c_str());
+    if (wall >= 0.0) std::printf(" wall %.3gs", wall);
+    if (aps >= 0.0) std::printf(", %.3g accesses/s", aps);
+    if (tps >= 0.0) std::printf(", %.3g tasks/s", tps);
+    std::printf("\n");
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -73,6 +106,7 @@ int main(int argc, char** argv) {
   }
   const bool report_only = cli.get_bool("report-only", false);
   const bool verbose = cli.get_bool("verbose", false);
+  const bool wall_summary = cli.get_bool("wall-summary", false);
 
   raa::json::Value results, baseline;
   if (!load_json(results_path, results) ||
@@ -102,14 +136,17 @@ int main(int argc, char** argv) {
   }
   if (table.rows() > 0) table.print(std::cout);
 
+  if (wall_summary) print_wall_summary(results);
+
   const std::size_t violations = cmp.violations();
   std::printf(
       "%zu baseline metric%s compared: %zu ok, %zu violation%s; %zu metric%s "
-      "only in the results\n",
+      "only in the results; %zu informational metric%s not gated\n",
       cmp.deltas.size(), cmp.deltas.size() == 1 ? "" : "s",
       cmp.deltas.size() - violations, violations,
       violations == 1 ? "" : "s", cmp.extra_metrics,
-      cmp.extra_metrics == 1 ? "" : "s");
+      cmp.extra_metrics == 1 ? "" : "s", cmp.informational_skipped,
+      cmp.informational_skipped == 1 ? "" : "s");
   if (violations > 0 && report_only)
     std::printf("(report-only mode: not failing the build)\n");
   return violations > 0 && !report_only ? 1 : 0;

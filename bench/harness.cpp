@@ -1,6 +1,7 @@
 #include "harness.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 
 namespace raa::bench {
@@ -48,17 +49,47 @@ int harness_main(int argc, char** argv) {
   const int reps =
       static_cast<int>(std::max<std::int64_t>(1, cli.get_int("reps", 1)));
   report::RunReport run{reps};
+  using clock = std::chrono::steady_clock;
+  const auto run_start = clock::now();
   for (const auto& spec : specs) {
     if (specs.size() > 1)
       std::printf("==== %s ====\n", spec.name.c_str());
     report::BenchReport& bench_report =
         run.benchmark(spec.name, spec.paper_ref);
+    double bench_secs = 0.0;
+    double bench_accesses = 0.0;
+    double bench_tasks = 0.0;
     for (int rep = 0; rep < reps; ++rep) {
       Context ctx{cli, bench_report, rep, reps};
+      const auto t0 = clock::now();
       spec.fn(ctx);
+      const double secs = std::chrono::duration<double>(clock::now() - t0)
+                              .count();
+      // Host wall-clock capture: informational metrics, serialized for the
+      // perf trajectory but exempt from the baseline comparison gate.
+      bench_report.record_info("wall_seconds", secs, "s");
+      if (secs > 0.0 && ctx.sim_accesses > 0.0)
+        bench_report.record_info("accesses_per_second",
+                                 ctx.sim_accesses / secs, "1/s");
+      if (secs > 0.0 && ctx.sim_tasks > 0.0)
+        bench_report.record_info("tasks_per_second", ctx.sim_tasks / secs,
+                                 "1/s");
+      bench_secs += secs;
+      bench_accesses += ctx.sim_accesses;
+      bench_tasks += ctx.sim_tasks;
+    }
+    if (bench_secs > 0.0) {
+      std::printf("[wall] %s: %.2f s", spec.name.c_str(), bench_secs);
+      if (bench_accesses > 0.0)
+        std::printf(", %.3g sim-accesses/s", bench_accesses / bench_secs);
+      if (bench_tasks > 0.0)
+        std::printf(", %.3g sim-tasks/s", bench_tasks / bench_secs);
+      std::printf("\n");
     }
     if (specs.size() > 1) std::printf("\n");
   }
+  run.set_wall_seconds(
+      std::chrono::duration<double>(clock::now() - run_start).count());
 
   const std::string json_path = cli.get_string("json", "");
   if (!json_path.empty()) {

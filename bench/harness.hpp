@@ -31,9 +31,18 @@ struct Context {
   report::BenchReport& report;    ///< record() headline metrics here
   int rep = 0;                    ///< current repetition, 0-based
   int reps = 1;                   ///< total repetitions
+  double sim_accesses = 0;        ///< see add_accesses()
+  double sim_tasks = 0;           ///< see add_tasks()
 
   /// True on the repetition whose tables should be printed.
   bool printing() const noexcept { return rep == 0; }
+
+  /// Tell the harness how many simulated memory accesses this repetition
+  /// drove; it derives the informational `accesses_per_second` metric
+  /// (host throughput trend, exempt from the baseline gate).
+  void add_accesses(double n) noexcept { sim_accesses += n; }
+  /// Same for replayed/spawned tasks -> `tasks_per_second`.
+  void add_tasks(double n) noexcept { sim_tasks += n; }
 };
 
 using BenchFn = void (*)(Context&);

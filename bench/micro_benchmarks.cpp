@@ -1,9 +1,21 @@
-// google-benchmark micro-benchmarks of the substrates themselves: task
-// spawn/dependence-tracking throughput of the runtime, simulated-access
-// throughput of the memory-hierarchy model, vector-instruction throughput
-// of the VPU model, and SpMV of the solver.
-#include <benchmark/benchmark.h>
+// Micro-benchmarks of the substrates themselves: task spawn/dependence-
+// tracking throughput of the runtime, simulated-access throughput of the
+// memory-hierarchy model, vector-instruction throughput of the VPU model,
+// and SpMV of the solver.
+//
+// Self-timed: a tiny doubling-calibration loop replaces the former Google
+// Benchmark dependency, so this binary always builds (ROADMAP open item).
+//
+// Flags:
+//   --filter=SUB     run only benchmarks whose name contains SUB
+//   --min-time=S     per-benchmark target measurement time (default 0.25)
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
 
+#include "common/cli.hpp"
 #include "memsim/system.hpp"
 #include "runtime/runtime.hpp"
 #include "solver/csr.hpp"
@@ -11,99 +23,151 @@
 
 namespace {
 
-void BM_RuntimeSpawnIndependent(benchmark::State& state) {
-  for (auto _ : state) {
-    raa::rt::Runtime rt;  // serial: measures spawn + bookkeeping cost
-    for (int i = 0; i < state.range(0); ++i) rt.spawn([] {});
-    rt.taskwait();
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
+/// Keep `v` observable so the optimizer cannot delete the computation.
+template <typename T>
+inline void do_not_optimize(const T& v) {
+  asm volatile("" : : "g"(&v) : "memory");
 }
-BENCHMARK(BM_RuntimeSpawnIndependent)->Arg(1024);
 
-void BM_RuntimeSpawnWithDeps(benchmark::State& state) {
-  std::vector<double> slots(16);
-  for (auto _ : state) {
-    raa::rt::Runtime rt;
-    for (int i = 0; i < state.range(0); ++i)
-      rt.spawn({raa::rt::inout(slots[static_cast<std::size_t>(i) % 16])},
-               [] {});
-    rt.taskwait();
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_RuntimeSpawnWithDeps)->Arg(1024);
+struct Result {
+  std::string name;
+  std::uint64_t iters = 0;
+  double secs = 0.0;
+  double items_per_iter = 0.0;
 
-void BM_MemsimAccessThroughput(benchmark::State& state) {
-  // One strided stream through the cache side of a 16-tile system.
-  raa::mem::SystemConfig cfg;
-  cfg.tiles = 16;
-  cfg.mesh_x = cfg.mesh_y = 4;
-  struct Stream final : raa::mem::CoreProgram {
-    std::uint64_t i = 0, n;
-    explicit Stream(std::uint64_t count) : n(count) {}
-    bool next(raa::mem::Access& out) override {
-      if (i >= n) return false;
-      out = raa::mem::Access{(1 << 20) + i * 8, false,
-                             raa::mem::RefClass::random_noalias, 0};
-      ++i;
-      return true;
-    }
-  };
-  const auto accesses = static_cast<std::uint64_t>(state.range(0));
-  for (auto _ : state) {
-    raa::mem::Workload w;
-    w.name = "micro";
-    w.programs.push_back(std::make_unique<Stream>(accesses));
-    for (unsigned c = 1; c < cfg.tiles; ++c)
-      w.programs.push_back(std::make_unique<Stream>(0));
-    raa::mem::System sys{cfg, raa::mem::HierarchyMode::cache_only};
-    benchmark::DoNotOptimize(sys.run(w));
+  double ns_per_iter() const { return secs / static_cast<double>(iters) * 1e9; }
+  double items_per_sec() const {
+    return items_per_iter * static_cast<double>(iters) / secs;
   }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<std::int64_t>(accesses));
-}
-BENCHMARK(BM_MemsimAccessThroughput)->Arg(1 << 14);
+};
 
-void BM_VpuGatherInstruction(benchmark::State& state) {
-  raa::vec::Vpu vpu{raa::vec::VpuConfig{.mvl = 64, .lanes = 4}};
-  std::vector<raa::vec::Elem> mem(4096);
-  raa::vec::Vreg idx(64);
-  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = (i * 67) % 4096;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(vpu.vgather(mem.data(), idx));
-    vpu.sync();
+/// Run `body` in doubling batches until the measured time reaches
+/// `min_time` seconds, then report the final batch.
+template <typename Fn>
+Result run_case(const std::string& name, double items_per_iter, double min_time,
+                Fn&& body) {
+  using clock = std::chrono::steady_clock;
+  body();  // warm-up (first-touch allocations, caches)
+  std::uint64_t iters = 1;
+  double secs = 0.0;
+  for (;;) {
+    const auto t0 = clock::now();
+    for (std::uint64_t i = 0; i < iters; ++i) body();
+    secs = std::chrono::duration<double>(clock::now() - t0).count();
+    if (secs >= min_time || iters >= (std::uint64_t{1} << 40)) break;
+    iters *= 2;
   }
-  state.SetItemsProcessed(state.iterations() * 64);
+  return Result{name, iters, secs, items_per_iter};
 }
-BENCHMARK(BM_VpuGatherInstruction);
-
-void BM_VpuVpiInstruction(benchmark::State& state) {
-  raa::vec::Vpu vpu{raa::vec::VpuConfig{.mvl = 64, .lanes = 4}};
-  raa::vec::Vreg in(64);
-  for (std::size_t i = 0; i < in.size(); ++i) in[i] = i % 7;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(vpu.vpi(in));
-    vpu.sync();
-  }
-  state.SetItemsProcessed(state.iterations() * 64);
-}
-BENCHMARK(BM_VpuVpiInstruction);
-
-void BM_SolverSpmv(benchmark::State& state) {
-  const auto a = raa::solver::laplacian_2d(
-      static_cast<std::size_t>(state.range(0)),
-      static_cast<std::size_t>(state.range(0)));
-  std::vector<double> x(a.n, 1.0), y(a.n);
-  for (auto _ : state) {
-    raa::solver::spmv(a, x, y);
-    benchmark::DoNotOptimize(y.data());
-  }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<std::int64_t>(a.nnz()));
-}
-BENCHMARK(BM_SolverSpmv)->Arg(128);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const raa::Cli cli{argc, argv};
+  const std::string filter = cli.get_string("filter", "");
+  const double min_time = cli.get_double("min-time", 0.25);
+
+  std::vector<Result> results;
+  const auto wants = [&](const char* name) {
+    return filter.empty() || std::string{name}.find(filter) != std::string::npos;
+  };
+
+  if (wants("BM_RuntimeSpawnIndependent")) {
+    constexpr int kTasks = 1024;
+    results.push_back(run_case(
+        "BM_RuntimeSpawnIndependent/1024", kTasks, min_time, [] {
+          raa::rt::Runtime rt;  // serial: measures spawn + bookkeeping cost
+          for (int i = 0; i < kTasks; ++i) rt.spawn([] {});
+          rt.taskwait();
+        }));
+  }
+
+  if (wants("BM_RuntimeSpawnWithDeps")) {
+    constexpr int kTasks = 1024;
+    std::vector<double> slots(16);
+    results.push_back(run_case(
+        "BM_RuntimeSpawnWithDeps/1024", kTasks, min_time, [&] {
+          raa::rt::Runtime rt;
+          for (int i = 0; i < kTasks; ++i)
+            rt.spawn({raa::rt::inout(slots[static_cast<std::size_t>(i) % 16])},
+                     [] {});
+          rt.taskwait();
+        }));
+  }
+
+  if (wants("BM_MemsimAccessThroughput")) {
+    // One strided stream through the cache side of a 16-tile system.
+    constexpr std::uint64_t kAccesses = 1 << 14;
+    raa::mem::SystemConfig cfg;
+    cfg.tiles = 16;
+    cfg.mesh_x = cfg.mesh_y = 4;
+    struct Stream final : raa::mem::CoreProgram {
+      std::uint64_t i = 0, n;
+      explicit Stream(std::uint64_t count) : n(count) {}
+      bool next(raa::mem::Access& out) override {
+        if (i >= n) return false;
+        out = raa::mem::Access{(1 << 20) + i * 8, false,
+                               raa::mem::RefClass::random_noalias, 0};
+        ++i;
+        return true;
+      }
+    };
+    results.push_back(run_case(
+        "BM_MemsimAccessThroughput/16384", static_cast<double>(kAccesses),
+        min_time, [&] {
+          raa::mem::Workload w;
+          w.name = "micro";
+          w.programs.push_back(std::make_unique<Stream>(kAccesses));
+          for (unsigned c = 1; c < cfg.tiles; ++c)
+            w.programs.push_back(std::make_unique<Stream>(0));
+          raa::mem::System sys{cfg, raa::mem::HierarchyMode::cache_only};
+          do_not_optimize(sys.run(w));
+        }));
+  }
+
+  if (wants("BM_VpuGatherInstruction")) {
+    raa::vec::Vpu vpu{raa::vec::VpuConfig{.mvl = 64, .lanes = 4}};
+    std::vector<raa::vec::Elem> mem(4096);
+    raa::vec::Vreg idx(64);
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = (i * 67) % 4096;
+    results.push_back(
+        run_case("BM_VpuGatherInstruction", 64, min_time, [&] {
+          do_not_optimize(vpu.vgather(mem.data(), idx));
+          vpu.sync();
+        }));
+  }
+
+  if (wants("BM_VpuVpiInstruction")) {
+    raa::vec::Vpu vpu{raa::vec::VpuConfig{.mvl = 64, .lanes = 4}};
+    raa::vec::Vreg in(64);
+    for (std::size_t i = 0; i < in.size(); ++i) in[i] = i % 7;
+    results.push_back(run_case("BM_VpuVpiInstruction", 64, min_time, [&] {
+      do_not_optimize(vpu.vpi(in));
+      vpu.sync();
+    }));
+  }
+
+  if (wants("BM_SolverSpmv")) {
+    const auto a = raa::solver::laplacian_2d(128, 128);
+    std::vector<double> x(a.n, 1.0), y(a.n);
+    results.push_back(run_case(
+        "BM_SolverSpmv/128", static_cast<double>(a.nnz()), min_time, [&] {
+          raa::solver::spmv(a, x, y);
+          do_not_optimize(y.data());
+        }));
+  }
+
+  if (results.empty()) {
+    std::fprintf(stderr, "no benchmark matches --filter=%s\n",
+                 filter.c_str());
+    return 2;
+  }
+
+  std::printf("%-36s %12s %14s %14s\n", "benchmark", "iterations",
+              "ns/iter", "items/s");
+  for (const auto& r : results)
+    std::printf("%-36s %12llu %14.1f %14.4g\n", r.name.c_str(),
+                static_cast<unsigned long long>(r.iters), r.ns_per_iter(),
+                r.items_per_sec());
+  return 0;
+}

@@ -1,0 +1,33 @@
+# Build-time git sha capture (cmake -P script mode).
+#
+# Writes ${OUT} defining RAA_GIT_SHA with the current short HEAD sha. Runs
+# on every build (the generating target is always considered out of date),
+# but the header is only touched when the sha actually changed, so nothing
+# recompiles between commits. This replaces the old configure-time capture,
+# which went stale whenever commits landed without a reconfigure and made
+# BENCH_results.json report the wrong provenance.
+#
+# Expected -D inputs: OUT (header path), SOURCE_DIR (repo root),
+# GIT_EXECUTABLE (may be empty/NOTFOUND -> "unknown").
+
+set(sha "unknown")
+if(GIT_EXECUTABLE AND NOT GIT_EXECUTABLE STREQUAL "GIT_EXECUTABLE-NOTFOUND")
+  execute_process(
+    COMMAND "${GIT_EXECUTABLE}" -C "${SOURCE_DIR}" rev-parse --short HEAD
+    OUTPUT_VARIABLE _sha
+    OUTPUT_STRIP_TRAILING_WHITESPACE
+    ERROR_QUIET
+    RESULT_VARIABLE _rc)
+  if(_rc EQUAL 0 AND NOT _sha STREQUAL "")
+    set(sha "${_sha}")
+  endif()
+endif()
+
+set(_content "// Generated at build time by cmake/git_sha.cmake - do not edit.
+#define RAA_GIT_SHA \"${sha}\"
+")
+
+file(WRITE "${OUT}.tmp" "${_content}")
+execute_process(COMMAND ${CMAKE_COMMAND} -E copy_if_different
+                "${OUT}.tmp" "${OUT}")
+file(REMOVE "${OUT}.tmp")

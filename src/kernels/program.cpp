@@ -2,61 +2,98 @@
 
 namespace raa::kern {
 
-bool ScriptedProgram::next(mem::Access& out) {
-  if (pending_store_) {
-    // Second half of a read-modify-write pair: the store, back-to-back.
+std::size_t ScriptedProgram::fill(std::span<mem::Access> out) {
+  mem::Access* dst = out.data();
+  const std::size_t cap = out.size();
+  std::size_t n = 0;
+
+  // Second half of a read-modify-write pair left over from the previous
+  // call (the pair straddled a batch boundary): the store comes first.
+  if (pending_store_ && n < cap) {
     pending_store_ = false;
-    out = mem::Access{pending_addr_, true, pending_ref_, 0};
-    return true;
+    dst[n++] = mem::Access{pending_addr_, true, pending_ref_, 0};
   }
 
-  // Skip empty phases.
-  while (phase_ < phases_.size() &&
-         (phases_[phase_].iterations == 0 || phases_[phase_].streams.empty())) {
-    ++phase_;
-  }
-  if (phase_ >= phases_.size()) return false;
+  // Local cursor copies: the batch loop is the simulator's stream-side hot
+  // path, and keeping the state in registers beats re-loading members.
+  std::size_t phase = phase_;
+  std::uint64_t iter = iter_;
+  std::size_t stream = stream_;
 
-  const Phase& ph = phases_[phase_];
-  const Stream& s = ph.streams[stream_];
-  RAA_CHECK(s.region != nullptr);
+  while (n < cap) {
+    // Skip empty phases.
+    while (phase < phases_.size() && (phases_[phase].iterations == 0 ||
+                                      phases_[phase].streams.empty())) {
+      ++phase;
+    }
+    if (phase >= phases_.size()) break;
 
-  std::uint64_t addr = 0;
-  switch (s.kind) {
-    case StreamKind::linear:
-      addr = s.region->base + s.start + iter_ * s.stride;
-      RAA_CHECK_MSG(addr + 1 <= s.region->base + s.region->bytes,
-                    "linear stream runs past its region: " + s.region->name);
-      break;
-    case StreamKind::random:
-    case StreamKind::random_rmw: {
-      const std::uint64_t span =
-          s.slice_bytes != 0 ? s.slice_bytes : s.region->bytes;
-      const std::uint64_t elems = span / s.elem_bytes;
-      RAA_CHECK(elems > 0);
-      addr = s.region->base + s.slice_base +
-             rng_.below(elems) * s.elem_bytes;
-      break;
+    // Hoist the per-phase invariants; the inner loop stays inside this
+    // phase until it ends or the batch is full.
+    const Phase& ph = phases_[phase];
+    const Stream* const streams = ph.streams.data();
+    const std::size_t stream_count = ph.streams.size();
+    const std::uint64_t iterations = ph.iterations;
+    const std::uint32_t gap = ph.gap_cycles;
+    bool phase_done = false;
+
+    while (n < cap && !phase_done) {
+      const Stream& s = streams[stream];
+      RAA_CHECK(s.region != nullptr);
+
+      std::uint64_t addr = 0;
+      switch (s.kind) {
+        case StreamKind::linear:
+          addr = s.region->base + s.start + iter * s.stride;
+          RAA_CHECK_MSG(
+              addr + 1 <= s.region->base + s.region->bytes,
+              "linear stream runs past its region: " + s.region->name);
+          break;
+        case StreamKind::random:
+        case StreamKind::random_rmw: {
+          const std::uint64_t span =
+              s.slice_bytes != 0 ? s.slice_bytes : s.region->bytes;
+          const std::uint64_t elems = span / s.elem_bytes;
+          RAA_CHECK(elems > 0);
+          addr = s.region->base + s.slice_base +
+                 rng_.below(elems) * s.elem_bytes;
+          break;
+        }
+      }
+
+      const bool rmw = s.kind == StreamKind::random_rmw;
+      dst[n++] = mem::Access{addr, rmw ? false : s.store, s.ref, gap};
+
+      // Advance stream-major within the iteration, then the iteration
+      // counter (the rmw store below does not advance the cursor).
+      if (++stream >= stream_count) {
+        stream = 0;
+        if (++iter >= iterations) {
+          iter = 0;
+          ++phase;
+          phase_done = true;
+        }
+      }
+
+      if (rmw) {
+        // The store half, back-to-back; carried over when the batch ends.
+        if (n < cap) {
+          dst[n++] = mem::Access{addr, true, s.ref, 0};
+        } else {
+          pending_store_ = true;
+          pending_addr_ = addr;
+          pending_ref_ = s.ref;
+        }
+      }
     }
   }
 
-  const bool is_store = s.kind == StreamKind::random_rmw ? false : s.store;
-  out = mem::Access{addr, is_store, s.ref, ph.gap_cycles};
-  if (s.kind == StreamKind::random_rmw) {
-    pending_store_ = true;
-    pending_addr_ = addr;
-    pending_ref_ = s.ref;
-  }
-
-  // Advance stream-major within the iteration, then the iteration counter.
-  if (++stream_ >= ph.streams.size()) {
-    stream_ = 0;
-    if (++iter_ >= ph.iterations) {
-      iter_ = 0;
-      ++phase_;
-    }
-  }
-  return true;
+  phase_ = phase;
+  iter_ = iter;
+  stream_ = stream;
+  return n;
 }
+
+bool ScriptedProgram::next(mem::Access& out) { return fill({&out, 1}) == 1; }
 
 }  // namespace raa::kern

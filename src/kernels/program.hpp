@@ -53,12 +53,16 @@ struct Phase {
 };
 
 /// CoreProgram interpreter over a phase list. Deterministic in `seed`.
+/// Generates accesses in batches (one virtual `fill` call produces up to a
+/// buffer's worth); `next()` is the one-access shim over the same
+/// generator, so both entry points yield the identical sequence.
 class ScriptedProgram final : public mem::CoreProgram {
  public:
   ScriptedProgram(std::vector<Phase> phases, std::uint64_t seed)
       : phases_(std::move(phases)), rng_(seed) {}
 
   bool next(mem::Access& out) override;
+  std::size_t fill(std::span<mem::Access> out) override;
 
  private:
   std::vector<Phase> phases_;

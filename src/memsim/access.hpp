@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -40,12 +41,23 @@ struct Access {
 };
 
 /// A per-core access-stream generator. Streams are pulled lazily so multi-
-/// million-access workloads never materialise a trace.
+/// million-access workloads never materialise a trace. The simulator pulls
+/// through `fill()` in batches, amortising the virtual dispatch over up to
+/// a buffer's worth of accesses; `next()` remains as the single-access
+/// shim for hand-rolled programs and tests.
 class CoreProgram {
  public:
   virtual ~CoreProgram() = default;
   /// Produce the next access; false at end of stream.
   virtual bool next(Access& out) = 0;
+  /// Produce up to out.size() accesses (in stream order); returns how many
+  /// were written. 0 means end of stream — and must stay 0 thereafter. The
+  /// default loops next(); generators override it to batch.
+  virtual std::size_t fill(std::span<Access> out) {
+    std::size_t n = 0;
+    while (n < out.size() && next(out[n])) ++n;
+    return n;
+  }
 };
 
 /// A declared data region with its compiler classification. The hybrid

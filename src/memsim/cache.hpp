@@ -5,7 +5,20 @@
 /// coherence state (MSI for L1s; L2 lines are either present or not, with
 /// sharer bookkeeping held by the directory) and a functional value so the
 /// protocol tests can assert that no access ever observes stale data.
+///
+/// Storage is struct-of-arrays: the tag words scanned by every probe live
+/// in their own densely packed array (one host cache line covers an 8-way
+/// set), while LRU stamps, values and states are touched only on hits and
+/// mutations. With multi-megabyte simulated L2 banks the tag scan is the
+/// memory-bound part of the simulator's hot path, and the split cuts the
+/// host lines touched per miss probe by 4x.
+///
+/// Hot paths use the way-handle API (`probe` / `probe_touch` returning a
+/// way index, `kMiss` on miss) so one associative scan serves all the
+/// state/value reads and writes of an access. The scalar convenience
+/// methods remain for tests and cold paths.
 
+#include <bit>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -30,6 +43,9 @@ struct Victim {
 /// line-aligned when they reach the cache).
 class Cache {
  public:
+  /// probe/probe_touch miss marker.
+  static constexpr std::size_t kMiss = ~std::size_t{0};
+
   /// `hashed_index` selects the set by hashing the line index instead of a
   /// plain modulo — what LLC banks do to stay uniform under arbitrary
   /// address interleavings (chunk-granular banking would otherwise alias
@@ -40,137 +56,169 @@ class Cache {
     RAA_CHECK(assoc > 0 && line_bytes > 0);
     RAA_CHECK(capacity_bytes % (assoc * line_bytes) == 0);
     sets_ = capacity_bytes / (assoc * line_bytes);
-    ways_.assign(static_cast<std::size_t>(sets_) * assoc_, Way{});
+    line_pow2_ = std::has_single_bit(line_bytes);
+    if (line_pow2_)
+      line_shift_ = static_cast<unsigned>(std::countr_zero(line_bytes));
+    sets_pow2_ = std::has_single_bit(sets_);
+    const std::size_t n = static_cast<std::size_t>(sets_) * assoc_;
+    tags_.assign(n, kNoLine);
+    values_.assign(n, 0);
+    lru_.assign(n, 0);
+    states_.assign(n, LineState::invalid);
   }
 
   unsigned sets() const noexcept { return sets_; }
   unsigned assoc() const noexcept { return assoc_; }
 
+  /// Way-handle lookup: the resident way's index, or kMiss. No LRU touch.
+  std::size_t probe(std::uint64_t line_addr) const {
+    const std::size_t base = set_base(line_addr);
+    for (unsigned i = 0; i < assoc_; ++i)
+      if (tags_[base + i] == line_addr) return base + i;
+    return kMiss;
+  }
+
+  /// Way-handle lookup that touches LRU on hit (a demand access).
+  std::size_t probe_touch(std::uint64_t line_addr) {
+    const std::size_t w = probe(line_addr);
+    if (w != kMiss) lru_[w] = ++clock_;
+    return w;
+  }
+
+  // Way-handle accessors. `way` must come from a probe hit on this cache;
+  // handles stay valid until the way is evicted or invalidated.
+  LineState state_of(std::size_t way) const { return states_[way]; }
+  void set_state_of(std::size_t way, LineState s) {
+    RAA_CHECK(s != LineState::invalid);  // use invalidate()
+    states_[way] = s;
+  }
+  std::uint64_t value_of(std::size_t way) const { return values_[way]; }
+  void set_value_of(std::size_t way, std::uint64_t value) {
+    values_[way] = value;
+  }
+  /// Drop a resident way (its victim record is the caller's to assemble).
+  void invalidate_way(std::size_t way) {
+    tags_[way] = kNoLine;
+    states_[way] = LineState::invalid;
+  }
+
   /// True when the line is present (state != invalid).
   bool contains(std::uint64_t line_addr) const {
-    return find(line_addr) != nullptr;
+    return probe(line_addr) != kMiss;
   }
 
   LineState state(std::uint64_t line_addr) const {
-    const Way* w = find(line_addr);
-    return w ? w->state : LineState::invalid;
+    const std::size_t w = probe(line_addr);
+    return w == kMiss ? LineState::invalid : states_[w];
   }
 
   /// Probe and, on hit, touch LRU. Returns the state (invalid on miss).
   LineState access(std::uint64_t line_addr) {
-    Way* w = find_mut(line_addr);
-    if (w == nullptr) return LineState::invalid;
-    touch(w);
-    return w->state;
+    const std::size_t w = probe_touch(line_addr);
+    return w == kMiss ? LineState::invalid : states_[w];
   }
 
   std::uint64_t value(std::uint64_t line_addr) const {
-    const Way* w = find(line_addr);
-    RAA_CHECK(w != nullptr);
-    return w->value;
+    const std::size_t w = probe(line_addr);
+    RAA_CHECK(w != kMiss);
+    return values_[w];
   }
 
   void set_value(std::uint64_t line_addr, std::uint64_t value) {
-    Way* w = find_mut(line_addr);
-    RAA_CHECK(w != nullptr);
-    w->value = value;
+    const std::size_t w = probe(line_addr);
+    RAA_CHECK(w != kMiss);
+    values_[w] = value;
   }
 
   void set_state(std::uint64_t line_addr, LineState s) {
-    Way* w = find_mut(line_addr);
-    RAA_CHECK(w != nullptr);
-    RAA_CHECK(s != LineState::invalid);  // use invalidate()
-    w->state = s;
+    const std::size_t w = probe(line_addr);
+    RAA_CHECK(w != kMiss);
+    set_state_of(w, s);
   }
 
   /// Insert a line (must not be present); returns the evicted victim, if
-  /// any. The inserted line becomes MRU.
+  /// any. The inserted line becomes MRU. The duplicate check rides the
+  /// victim scan, so insertion costs a single pass over the set's tags.
   std::optional<Victim> insert(std::uint64_t line_addr, LineState s,
                                std::uint64_t value) {
     RAA_CHECK(s != LineState::invalid);
-    RAA_CHECK(find(line_addr) == nullptr);
-    Way* slot = nullptr;
-    Way* lru = nullptr;
     const std::size_t base = set_base(line_addr);
+    std::size_t slot = kMiss;
+    std::size_t lru = kMiss;
     for (unsigned i = 0; i < assoc_; ++i) {
-      Way& w = ways_[base + i];
-      if (w.state == LineState::invalid) {
-        slot = &w;
-        break;
+      const std::size_t w = base + i;
+      if (tags_[w] == kNoLine) {
+        if (slot == kMiss) slot = w;
+        continue;
       }
-      if (lru == nullptr || w.lru < lru->lru) lru = &w;
+      RAA_CHECK(tags_[w] != line_addr);  // must not already be present
+      if (lru == kMiss || lru_[w] < lru_[lru]) lru = w;
     }
     std::optional<Victim> victim;
-    if (slot == nullptr) {
-      RAA_CHECK(lru != nullptr);
-      victim = Victim{lru->line_addr, lru->state == LineState::modified,
-                      lru->state, lru->value};
+    if (slot == kMiss) {
+      RAA_CHECK(lru != kMiss);
+      victim = Victim{tags_[lru], states_[lru] == LineState::modified,
+                      states_[lru], values_[lru]};
       slot = lru;
     }
-    slot->line_addr = line_addr;
-    slot->state = s;
-    slot->value = value;
-    touch(slot);
+    tags_[slot] = line_addr;
+    states_[slot] = s;
+    values_[slot] = value;
+    lru_[slot] = ++clock_;
     return victim;
   }
 
   /// Drop a line if present; returns its victim record (for writeback).
   std::optional<Victim> invalidate(std::uint64_t line_addr) {
-    Way* w = find_mut(line_addr);
-    if (w == nullptr) return std::nullopt;
-    const Victim v{w->line_addr, w->state == LineState::modified, w->state,
-                   w->value};
-    w->state = LineState::invalid;
+    const std::size_t w = probe(line_addr);
+    if (w == kMiss) return std::nullopt;
+    const Victim v{tags_[w], states_[w] == LineState::modified, states_[w],
+                   values_[w]};
+    invalidate_way(w);
     return v;
   }
 
   /// Number of resident lines (diagnostics).
   std::size_t occupancy() const {
     std::size_t n = 0;
-    for (const Way& w : ways_)
-      if (w.state != LineState::invalid) ++n;
+    for (const std::uint64_t t : tags_)
+      if (t != kNoLine) ++n;
     return n;
   }
 
  private:
-  struct Way {
-    std::uint64_t line_addr = 0;
-    std::uint64_t value = 0;
-    std::uint64_t lru = 0;
-    LineState state = LineState::invalid;
-  };
+  /// Tag sentinel for an empty way. Line addresses are line-aligned, so
+  /// all-ones can never collide with a real line.
+  static constexpr std::uint64_t kNoLine = ~std::uint64_t{0};
 
   std::size_t set_base(std::uint64_t line_addr) const {
-    std::uint64_t index = line_addr / line_bytes_;
+    std::uint64_t index =
+        line_pow2_ ? line_addr >> line_shift_ : line_addr / line_bytes_;
     if (hashed_index_) {
       std::uint64_t h = index;  // SplitMix64 finalizer as index hash
       h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
       h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
       index = h ^ (h >> 31);
     }
-    return static_cast<std::size_t>(index % sets_) * assoc_;
+    const std::uint64_t set =
+        sets_pow2_ ? index & (sets_ - 1) : index % sets_;
+    return static_cast<std::size_t>(set) * assoc_;
   }
-
-  const Way* find(std::uint64_t line_addr) const {
-    const std::size_t base = set_base(line_addr);
-    for (unsigned i = 0; i < assoc_; ++i) {
-      const Way& w = ways_[base + i];
-      if (w.state != LineState::invalid && w.line_addr == line_addr) return &w;
-    }
-    return nullptr;
-  }
-  Way* find_mut(std::uint64_t line_addr) {
-    return const_cast<Way*>(find(line_addr));
-  }
-
-  void touch(Way* w) { w->lru = ++clock_; }
 
   unsigned sets_ = 0;
   unsigned assoc_ = 0;
   unsigned line_bytes_ = 0;
+  unsigned line_shift_ = 0;
+  bool line_pow2_ = false;
+  bool sets_pow2_ = false;
   bool hashed_index_ = false;
   std::uint64_t clock_ = 0;
-  std::vector<Way> ways_;
+  // Struct-of-arrays (see file comment): tags are the probe-scan target,
+  // the rest is touched on hits/mutations only.
+  std::vector<std::uint64_t> tags_;
+  std::vector<std::uint64_t> values_;
+  std::vector<std::uint64_t> lru_;
+  std::vector<LineState> states_;
 };
 
 }  // namespace raa::mem

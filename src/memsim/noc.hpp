@@ -5,26 +5,39 @@
 /// compares *traffic volumes* (flit-hops), which this model counts exactly.
 
 #include <cstdint>
+#include <vector>
 
 #include "common/check.hpp"
 #include "memsim/config.hpp"
 
 namespace raa::mem {
 
-/// Mesh geometry + accounting helpers. Stateless except for the config.
+/// Mesh geometry + accounting helpers. Stateless except for the config;
+/// per-tile coordinates and the nearest memory controller are precomputed
+/// at construction so the per-message accounting on the simulator's hot
+/// path does no division.
 class Noc {
  public:
   explicit Noc(const SystemConfig& cfg) : cfg_(cfg) {
     RAA_CHECK(cfg.mesh_x * cfg.mesh_y == cfg.tiles);
+    x_.resize(cfg.tiles);
+    y_.resize(cfg.tiles);
+    for (unsigned t = 0; t < cfg.tiles; ++t) {
+      x_[t] = static_cast<std::uint8_t>(t % cfg.mesh_x);
+      y_[t] = static_cast<std::uint8_t>(t / cfg.mesh_x);
+    }
+    nearest_mc_.resize(cfg.tiles);
+    for (unsigned t = 0; t < cfg.tiles; ++t)
+      nearest_mc_[t] = compute_nearest_mc(t);
   }
 
-  unsigned x_of(unsigned tile) const noexcept { return tile % cfg_.mesh_x; }
-  unsigned y_of(unsigned tile) const noexcept { return tile / cfg_.mesh_x; }
+  unsigned x_of(unsigned tile) const noexcept { return x_[tile]; }
+  unsigned y_of(unsigned tile) const noexcept { return y_[tile]; }
 
   /// Manhattan distance (XY routing hop count).
   unsigned hops(unsigned from, unsigned to) const noexcept {
-    const int dx = static_cast<int>(x_of(from)) - static_cast<int>(x_of(to));
-    const int dy = static_cast<int>(y_of(from)) - static_cast<int>(y_of(to));
+    const int dx = static_cast<int>(x_[from]) - static_cast<int>(x_[to]);
+    const int dy = static_cast<int>(y_[from]) - static_cast<int>(y_[to]);
     return static_cast<unsigned>((dx < 0 ? -dx : dx) + (dy < 0 ? -dy : dy));
   }
 
@@ -47,6 +60,11 @@ class Noc {
 
   /// The memory controller tile closest to `tile` (MCs sit at the corners).
   unsigned nearest_mc(unsigned tile) const noexcept {
+    return nearest_mc_[tile];
+  }
+
+ private:
+  unsigned compute_nearest_mc(unsigned tile) const noexcept {
     const unsigned corners[4] = {
         0, cfg_.mesh_x - 1, cfg_.tiles - cfg_.mesh_x, cfg_.tiles - 1};
     unsigned best = corners[0];
@@ -62,8 +80,9 @@ class Noc {
     return best;
   }
 
- private:
   SystemConfig cfg_;
+  std::vector<std::uint8_t> x_, y_;   ///< per-tile mesh coordinates
+  std::vector<unsigned> nearest_mc_;  ///< per-tile closest controller
 };
 
 }  // namespace raa::mem

@@ -6,7 +6,6 @@
 /// the timing/energy of DMA transfers is charged by the system model.
 
 #include <cstdint>
-#include <unordered_map>
 
 #include "common/check.hpp"
 
@@ -21,6 +20,7 @@ struct SoftwareCacheState {
 
   std::uint64_t current_chunk = kNoChunk;  ///< chunk index within region
   bool dirty = false;
+  bool open = false;  ///< stream touched at least once (slot reserved)
   double prefetch_done_cycle = 0.0;
   std::uint32_t chunk_tag = 0;  ///< unique id of the resident chunk
 };

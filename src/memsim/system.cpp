@@ -1,7 +1,8 @@
 #include "memsim/system.hpp"
 
 #include <algorithm>
-#include <queue>
+#include <bit>
+#include <limits>
 
 namespace raa::mem {
 
@@ -14,9 +15,113 @@ const char* to_string(RefClass c) noexcept {
   return "?";
 }
 
-System::System(const SystemConfig& config, HierarchyMode mode)
-    : cfg_(config), mode_(mode), noc_(config) {
+namespace {
+
+/// Flat index-min tournament (loser) tree over the core ids, keyed by
+/// (clock, core id) lexicographically — the same deterministic
+/// interleaving order the old std::priority_queue<pair<double, unsigned>>
+/// produced, without a pop/push pair per access. After the winning core's
+/// clock advances, one replay along its leaf-to-root path (exactly
+/// ceil(log2(n)) comparisons, no swaps of sibling subtrees) restores the
+/// winner. Finished cores are retired by setting their key to +infinity.
+class CoreHeap {
+ public:
+  CoreHeap(std::vector<double>& clock, unsigned n)
+      : clock_(clock), remaining_(n) {
+    // Round the leaf count up to a power of two; surplus leaves hold the
+    // +inf sentinel so they lose every match.
+    leaves_ = 1;
+    while (leaves_ < n) leaves_ *= 2;
+    key_.assign(leaves_, kInf);
+    for (unsigned i = 0; i < n; ++i) key_[i] = 0.0;
+    loser_.assign(leaves_, 0);
+    init_tree();
+  }
+
+  bool empty() const noexcept { return remaining_ == 0; }
+  unsigned top() const noexcept { return winner_; }
+
+  /// Re-seat the winner after its clock increased.
+  void sift_top() {
+    key_[winner_] = clock_[winner_];
+    replay();
+  }
+
+  /// Retire the winner (its stream ended).
+  void pop_top() {
+    key_[winner_] = kInf;
+    --remaining_;
+    if (remaining_ > 0) replay();
+  }
+
+ private:
+  static constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  /// Lexicographic (key, id); surplus/retired leaves carry +inf keys and
+  /// n <= 64, so an id tie-break among +inf leaves is still total.
+  /// Branchless on purpose: match outcomes are data-dependent and would
+  /// mispredict roughly every other replay step otherwise.
+  bool before(unsigned a, unsigned b) const noexcept {
+    const double ka = key_[a];
+    const double kb = key_[b];
+    return (ka < kb) | ((ka == kb) & (a < b));
+  }
+
+  void init_tree() {
+    // Play every pair bottom-up; node i of loser_ (i >= 1) stores the
+    // loser of the match below it, winners propagate to the root.
+    std::vector<unsigned> w(2 * leaves_);
+    for (unsigned i = 0; i < leaves_; ++i) w[leaves_ + i] = i;
+    for (unsigned i = leaves_ - 1; i >= 1; --i) {
+      const unsigned a = w[2 * i];
+      const unsigned b = w[2 * i + 1];
+      const bool a_wins = before(a, b);
+      w[i] = a_wins ? a : b;
+      loser_[i] = a_wins ? b : a;
+    }
+    winner_ = w[1];
+  }
+
+  /// Replay the matches on the current winner's path to the root
+  /// (branchless: unconditional store + conditional moves per level; the
+  /// carried winner's key stays in a register).
+  void replay() {
+    unsigned w = winner_;
+    double kw = key_[w];
+    for (unsigned node = (leaves_ + w) / 2; node >= 1; node /= 2) {
+      const unsigned other = loser_[node];
+      const double ko = key_[other];
+      const bool lose = (ko < kw) | ((ko == kw) & (other < w));
+      loser_[node] = lose ? w : other;
+      w = lose ? other : w;
+      kw = lose ? ko : kw;
+    }
+    winner_ = w;
+  }
+
+  std::vector<double>& clock_;
+  std::vector<double> key_;      ///< per-leaf key (+inf = retired/surplus)
+  std::vector<unsigned> loser_;  ///< loser_[i]: losing leaf at node i
+  unsigned leaves_ = 0;
+  unsigned winner_ = 0;
+  unsigned remaining_ = 0;
+};
+
+}  // namespace
+
+System::System(const SystemConfig& config, HierarchyMode mode,
+               LineStore store)
+    : cfg_(config),
+      mode_(mode),
+      noc_(config),
+      lines_(config.line_bytes, store) {
   RAA_CHECK(cfg_.tiles <= 64);  // directory sharer mask is a 64-bit word
+  line_pow2_ = std::has_single_bit(cfg_.line_bytes);
+  chunk_pow2_ = std::has_single_bit(cfg_.dma_chunk_bytes);
+  tiles_pow2_ = std::has_single_bit(cfg_.tiles);
+  if (chunk_pow2_)
+    chunk_shift_ = static_cast<unsigned>(std::countr_zero(cfg_.dma_chunk_bytes));
+  flits_line_ = cfg_.flits_per_line();
   l1_.reserve(cfg_.tiles);
   l2_.reserve(cfg_.tiles);
   for (unsigned t = 0; t < cfg_.tiles; ++t) {
@@ -29,7 +134,6 @@ System::System(const SystemConfig& config, HierarchyMode mode)
   core_clock_.assign(cfg_.tiles, 0.0);
   stream_trackers_.assign(cfg_.tiles, {});
   tracker_rr_.assign(cfg_.tiles, 0);
-  prefetched_.assign(cfg_.tiles, {});
 }
 
 unsigned System::send(unsigned from, unsigned to, unsigned flits) {
@@ -39,43 +143,33 @@ unsigned System::send(unsigned from, unsigned to, unsigned flits) {
   return noc_.latency(h, flits);
 }
 
-std::uint64_t System::dram_value(std::uint64_t line) const {
-  const auto it = dram_.find(line);
-  return it == dram_.end() ? 0 : it->second;
-}
-
-void System::dram_write(std::uint64_t line, std::uint64_t value) {
-  dram_[line] = value;
-}
-
-void System::check_load_value(std::uint64_t line, std::uint64_t served) const {
-  const auto it = reference_.find(line);
-  const std::uint64_t expect = it == reference_.end() ? 0 : it->second;
-  RAA_CHECK_MSG(served == expect,
-                "coherence violation: load served stale data (line " +
-                    std::to_string(line) + ")");
-}
-
-void System::record_store(std::uint64_t line, std::uint64_t version) {
-  reference_[line] = version;
+void System::check_load_value(const LineInfo& li,
+                              std::uint64_t served) const {
+  RAA_CHECK_MSG(served == li.oracle,
+                "coherence violation: load served stale data");
 }
 
 void System::l2_install(std::uint64_t line, std::uint64_t value, bool dirty) {
   const unsigned home = home_of(line);
   Cache& bank = l2_[home];
-  if (bank.contains(line)) {
-    bank.set_value(line, value);
-    if (dirty) bank.set_state(line, LineState::modified);
+  if (const std::size_t w = bank.probe(line); w != Cache::kMiss) {
+    bank.set_value_of(w, value);
+    if (dirty) bank.set_state_of(w, LineState::modified);
     return;
   }
+  l2_insert_absent(home, line, value, dirty);
+}
+
+void System::l2_insert_absent(unsigned home, std::uint64_t line,
+                              std::uint64_t value, bool dirty) {
   const auto victim =
-      bank.insert(line, dirty ? LineState::modified : LineState::shared,
-                  value);
+      l2_[home].insert(line, dirty ? LineState::modified : LineState::shared,
+                       value);
   if (victim && victim->dirty) {
-    dram_write(victim->line_addr, victim->value);
+    lines_.at(victim->line_addr).dram = victim->value;
     ++metrics_.dram_line_writes;
     metrics_.e_dram += cfg_.e_dram_line;
-    send(home, noc_.nearest_mc(home), cfg_.flits_per_line());
+    send(home, noc_.nearest_mc(home), flits_line_);
   }
 }
 
@@ -83,30 +177,39 @@ void System::l1_install(unsigned core, std::uint64_t line, LineState st,
                         std::uint64_t value) {
   const auto victim = l1_[core].insert(line, st, value);
   if (!victim) return;
-  DirEntry& e = directory_.entry(victim->line_addr);
   if (victim->dirty) {
     // Write the modified victim back to its home L2 bank.
     ++metrics_.writebacks;
-    send(core, home_of(victim->line_addr), cfg_.flits_per_line());
+    send(core, home_of(victim->line_addr), flits_line_);
     l2_install(victim->line_addr, victim->value, /*dirty=*/true);
+    LineInfo& e = lines_.at(victim->line_addr);
     if (e.owner == static_cast<int>(core)) e.owner = -1;
   } else if (victim->state == LineState::exclusive) {
     // Clean-exclusive eviction: the directory thinks we own the line, so a
     // small eviction notice keeps it sound (no data payload).
     send(core, home_of(victim->line_addr), 1);
+    LineInfo& e = lines_.at(victim->line_addr);
     if (e.owner == static_cast<int>(core)) e.owner = -1;
   }
-  // Shared victims are dropped silently (no directory message), leaving a
-  // stale sharer bit behind — as in real sparse directories.
+  // Shared victims are dropped silently (no directory message, no line
+  // record touched), leaving a stale sharer bit behind — as in real
+  // sparse directories.
 }
 
-unsigned System::invalidate_sharers(std::uint64_t line, int except_core) {
-  DirEntry& e = directory_.entry(line);
+unsigned System::invalidate_sharers(std::uint64_t line, LineInfo& li,
+                                    int except_core) {
+  // Walk only the set sharer bits (ascending tile order, as before).
+  std::uint64_t mask = li.sharers;
+  if (except_core >= 0) mask &= ~bit(static_cast<unsigned>(except_core));
+  li.sharers =
+      except_core >= 0 ? bit(static_cast<unsigned>(except_core)) : 0;
+  if (mask == 0) return 0;
+
   const unsigned home = home_of(line);
   unsigned worst = 0;
-  for (unsigned t = 0; t < cfg_.tiles; ++t) {
-    if (static_cast<int>(t) == except_core) continue;
-    if ((e.sharers & Directory::bit(t)) == 0) continue;
+  while (mask != 0) {
+    const unsigned t = static_cast<unsigned>(std::countr_zero(mask));
+    mask &= mask - 1;
     // Invalidation + ack round trip.
     const unsigned rt = send(home, t, 1) + send(t, home, 1);
     worst = std::max(worst, rt);
@@ -117,120 +220,125 @@ unsigned System::invalidate_sharers(std::uint64_t line, int except_core) {
                     "protocol bug: invalidating a Modified sharer");
     }
   }
-  e.sharers = except_core >= 0 ? Directory::bit(
-                                     static_cast<unsigned>(except_core))
-                               : 0;
   return worst;
 }
 
-unsigned System::fetch_line(unsigned core, std::uint64_t line,
+unsigned System::fetch_line(unsigned core, std::uint64_t line, LineInfo& li,
                             std::uint64_t& value, bool for_store) {
   const unsigned home = home_of(line);
   unsigned lat = send(core, home, 1) + cfg_.lat_dir;
   metrics_.e_dir += cfg_.e_dir;
-  DirEntry& e = directory_.entry(line);
-  RAA_CHECK(e.owner != static_cast<int>(core));
+  RAA_CHECK(li.owner != static_cast<int>(core));
 
-  if (e.owner >= 0) {
+  if (li.owner >= 0) {
     // Another L1 holds the line Modified or Exclusive: forward.
-    const auto owner = static_cast<unsigned>(e.owner);
-    const LineState owner_state = l1_[owner].state(line);
+    const auto owner = static_cast<unsigned>(li.owner);
+    Cache& oc = l1_[owner];
+    const std::size_t ow = oc.probe(line);
+    RAA_CHECK(ow != Cache::kMiss);
+    const LineState owner_state = oc.state_of(ow);
     RAA_CHECK(owner_state == LineState::modified ||
               owner_state == LineState::exclusive);
     const bool was_dirty = owner_state == LineState::modified;
-    value = l1_[owner].value(line);
+    value = oc.value_of(ow);
     lat += send(home, owner, 1) + cfg_.lat_l1_hit +
-           send(owner, core, cfg_.flits_per_line());
+           send(owner, core, flits_line_);
     metrics_.e_l1 += cfg_.e_l1_hit;
     if (for_store) {
-      l1_[owner].invalidate(line);
+      oc.invalidate_way(ow);
       ++metrics_.invalidations;
-      e.owner = static_cast<int>(core);
-      e.sharers = Directory::bit(core);
+      li.owner = static_cast<std::int8_t>(core);
+      li.sharers = bit(core);
     } else {
       // Owner downgrades to Shared; dirty data is reflected to the home.
-      l1_[owner].set_state(line, LineState::shared);
+      oc.set_state_of(ow, LineState::shared);
       if (was_dirty) {
-        send(owner, home, cfg_.flits_per_line());
+        send(owner, home, flits_line_);
         l2_install(line, value, /*dirty=*/true);
       }
-      e.owner = -1;
-      e.sharers |= Directory::bit(owner) | Directory::bit(core);
+      li.owner = -1;
+      li.sharers |= bit(owner) | bit(core);
     }
     return lat;
   }
 
-  if (l2_[home].access(line) != LineState::invalid) {
+  if (const std::size_t lw = l2_[home].probe_touch(line);
+      lw != Cache::kMiss) {
     // L2 hit at home.
     ++metrics_.l2_hits;
     metrics_.e_l2 += cfg_.e_l2;
-    value = l2_[home].value(line);
-    lat += cfg_.lat_l2_hit + send(home, core, cfg_.flits_per_line());
+    value = l2_[home].value_of(lw);
+    lat += cfg_.lat_l2_hit + send(home, core, flits_line_);
   } else {
     // Fetch from DRAM through the nearest memory controller.
     ++metrics_.l2_misses;
     metrics_.e_l2 += cfg_.e_l2;  // tag probe
     const unsigned mc = noc_.nearest_mc(home);
-    value = dram_value(line);
+    value = li.dram;
     ++metrics_.dram_line_reads;
     metrics_.e_dram += cfg_.e_dram_line;
     lat += send(home, mc, 1) + cfg_.lat_dram +
-           send(mc, home, cfg_.flits_per_line()) +
-           send(home, core, cfg_.flits_per_line());
-    l2_install(line, value, /*dirty=*/false);
+           send(mc, home, flits_line_) +
+           send(home, core, flits_line_);
+    // The probe above just missed, so skip l2_install's redundant re-probe.
+    l2_insert_absent(home, line, value, /*dirty=*/false);
   }
 
   if (for_store) {
-    lat += invalidate_sharers(line, static_cast<int>(core));
-    e.owner = static_cast<int>(core);
-    e.sharers = Directory::bit(core);
-  } else if (e.sharers == 0) {
+    lat += invalidate_sharers(line, li, static_cast<int>(core));
+    li.owner = static_cast<std::int8_t>(core);
+    li.sharers = bit(core);
+  } else if (li.sharers == 0) {
     // No other copy anywhere: grant clean-exclusive (MESI E).
-    e.owner = static_cast<int>(core);
-    e.sharers = Directory::bit(core);
+    li.owner = static_cast<std::int8_t>(core);
+    li.sharers = bit(core);
     exclusive_grant_ = true;
   } else {
-    e.sharers |= Directory::bit(core);
+    li.sharers |= bit(core);
   }
   return lat;
 }
 
-unsigned System::upgrade_to_modified(unsigned core, std::uint64_t line) {
+unsigned System::upgrade_to_modified(unsigned core, std::uint64_t line,
+                                     LineInfo& li) {
   const unsigned home = home_of(line);
   unsigned lat = send(core, home, 1) + cfg_.lat_dir;
   metrics_.e_dir += cfg_.e_dir;
-  lat += invalidate_sharers(line, static_cast<int>(core));
+  lat += invalidate_sharers(line, li, static_cast<int>(core));
   lat += send(home, core, 1);  // upgrade ack
-  DirEntry& e = directory_.entry(line);
-  e.owner = static_cast<int>(core);
-  e.sharers = Directory::bit(core);
+  li.owner = static_cast<std::int8_t>(core);
+  li.sharers = bit(core);
   return lat;
 }
 
-unsigned System::cache_access(unsigned core, std::uint64_t line, bool store) {
+unsigned System::cache_access(unsigned core, std::uint64_t line, LineInfo& li,
+                              bool store) {
   unsigned lat = cfg_.lat_l1_hit;
-  const LineState st = l1_[core].access(line);
-  if (st != LineState::invalid) {
+  Cache& l1 = l1_[core];
+  if (const std::size_t w = l1.probe_touch(line); w != Cache::kMiss) {
     ++metrics_.l1_hits;
     metrics_.e_l1 += cfg_.e_l1_hit;
     if (store) {
+      const LineState st = l1.state_of(w);
       if (st == LineState::shared) {
-        lat += upgrade_to_modified(core, line);
-        l1_[core].set_state(line, LineState::modified);
+        lat += upgrade_to_modified(core, line, li);
+        l1.set_state_of(w, LineState::modified);
       } else if (st == LineState::exclusive) {
         // MESI silent upgrade.
-        l1_[core].set_state(line, LineState::modified);
+        l1.set_state_of(w, LineState::modified);
       }
       const std::uint64_t v = fresh_version();
-      l1_[core].set_value(line, v);
-      record_store(line, v);
-      if (prefetched_[core].erase(line) > 0) {
+      l1.set_value_of(w, v);
+      li.oracle = v;
+      if (li.prefetch_mask & bit(core)) {
+        li.prefetch_mask &= ~bit(core);
         prefetch(core, line + cfg_.line_bytes);
       }
     } else {
-      check_load_value(line, l1_[core].value(line));
-      if (prefetched_[core].erase(line) > 0) {
+      check_load_value(li, l1.value_of(w));
+      if (li.prefetch_mask & bit(core)) {
         // First demand hit on a prefetched line: keep the stream rolling.
+        li.prefetch_mask &= ~bit(core);
         prefetch(core, line + cfg_.line_bytes);
       }
     }
@@ -241,16 +349,16 @@ unsigned System::cache_access(unsigned core, std::uint64_t line, bool store) {
   metrics_.e_l1 += cfg_.e_l1_probe;
   std::uint64_t value = 0;
   exclusive_grant_ = false;
-  lat += fetch_line(core, line, value, store);
+  lat += fetch_line(core, line, li, value, store);
   if (store) {
     const std::uint64_t v = fresh_version();
     l1_install(core, line, LineState::modified, v);
-    record_store(line, v);
+    li.oracle = v;
   } else {
     l1_install(core, line,
                exclusive_grant_ ? LineState::exclusive : LineState::shared,
                value);
-    check_load_value(line, value);
+    check_load_value(li, value);
   }
 
   // Stream detection: a miss that continues a tracked sequential stream
@@ -276,16 +384,16 @@ unsigned System::cache_access(unsigned core, std::uint64_t line, bool store) {
 
 void System::prefetch(unsigned core, std::uint64_t line) {
   if (l1_[core].contains(line)) return;
-  if (mode_ == HierarchyMode::hybrid &&
-      spm_directory_.lookup(line) != nullptr)
+  LineInfo& li = lines_.at(line);
+  if (mode_ == HierarchyMode::hybrid && li.spm_mapped)
     return;  // mapped data is served by the SPM side
   std::uint64_t value = 0;
   exclusive_grant_ = false;
-  (void)fetch_line(core, line, value, /*for_store=*/false);  // latency hidden
+  (void)fetch_line(core, line, li, value, /*for_store=*/false);  // hidden
   l1_install(core, line,
              exclusive_grant_ ? LineState::exclusive : LineState::shared,
              value);
-  prefetched_[core].insert(line);
+  li.prefetch_mask |= bit(core);
   ++metrics_.prefetch_fills;
 }
 
@@ -309,11 +417,10 @@ double System::dma_map_chunk(unsigned core, const Region& region,
   for (std::uint64_t line = chunk_base; line < chunk_end;
        line += cfg_.line_bytes) {
     ++lines;
-    const SpmMapping* prev = spm_directory_.lookup(line);
-    RAA_CHECK_MSG(prev == nullptr,
+    LineInfo& li = lines_.at(line);
+    RAA_CHECK_MSG(!li.spm_mapped,
                   "SPM map conflict: strided chunks of different cores "
                   "overlap (kernel classification bug)");
-    DirEntry& e = directory_.entry(line);
     std::uint64_t value = 0;
     bool from_cache_side = false;
 
@@ -321,46 +428,53 @@ double System::dma_map_chunk(unsigned core, const Region& region,
     // present. The L2 copy is *kept* (it cannot be read while the line is
     // mapped — the filter redirects guarded accesses, and no-alias
     // references never touch mapped data); a dirty unmap overwrites it.
-    if (fetch && l2_[home].access(line) != LineState::invalid) {
-      value = l2_[home].value(line);
-      from_cache_side = true;
-      ++l2_lines;
-      metrics_.e_l2 += cfg_.e_l2;
+    if (fetch) {
+      if (const std::size_t w = l2_[home].probe_touch(line);
+          w != Cache::kMiss) {
+        value = l2_[home].value_of(w);
+        from_cache_side = true;
+        ++l2_lines;
+        metrics_.e_l2 += cfg_.e_l2;
+      }
     }
-    if (e.owner >= 0) {
+    if (li.owner >= 0) {
       // A Modified/Exclusive L1 copy supersedes everything; collect it,
       // reflect it to the home bank, and invalidate the owner.
-      const auto owner = static_cast<unsigned>(e.owner);
+      const auto owner = static_cast<unsigned>(li.owner);
       value = l1_[owner].value(line);
       from_cache_side = true;
       l1_[owner].invalidate(line);
       ++metrics_.invalidations;
       send(home, owner, 1);
-      if (fetch) send(owner, core, cfg_.flits_per_line());
+      if (fetch) send(owner, core, flits_line_);
       l2_install(line, value, /*dirty=*/true);
-      e.owner = -1;
-      e.sharers = 0;
-    } else if (e.sharers != 0) {
+      li.owner = -1;
+      li.sharers = 0;
+    } else if (li.sharers != 0) {
       // Shared L1 copies would go stale behind SPM writes: invalidate now.
-      invalidate_sharers(line, -1);
+      invalidate_sharers(line, li, -1);
     }
     if (fetch) {
       if (!from_cache_side) {
-        value = dram_value(line);
+        value = li.dram;
         ++metrics_.dram_line_reads;
         ++dram_lines;
         metrics_.e_dram += cfg_.e_dram_line;
         // The fill allocates in the home L2 bank on the way (L2-backed
-        // DMA), so later re-maps of the same data stay on chip.
-        l2_install(line, value, /*dirty=*/false);
+        // DMA), so later re-maps of the same data stay on chip. The fetch
+        // probe above already missed, so insert without re-probing.
+        l2_insert_absent(home, line, value, /*dirty=*/false);
         metrics_.e_l2 += cfg_.e_l2;
       }
-      spm_values_[line] = value;
+      li.spm_value = value;
+      li.spm_valid = true;
       metrics_.e_spm += cfg_.e_spm;  // SPM fill write
     }
     // Write-allocated chunks: lines become valid in the SPM as they are
-    // written (spm_values_ presence is the per-line validity mask).
-    spm_directory_.map_line(line, core, chunk_tag);
+    // written (spm_valid is the per-line validity mask).
+    li.spm_mapped = true;
+    li.spm_tile = static_cast<std::uint8_t>(core);
+    li.spm_chunk_tag = chunk_tag;
   }
 
   // Bulk data legs: DMA moves whole bursts (one header per burst), which is
@@ -383,7 +497,7 @@ double System::dma_map_chunk(unsigned core, const Region& region,
   const double lat =
       noc_.latency(noc_.hops(core, mc), 1) + src_lat +
       static_cast<double>(lines) * cfg_.dram_cycles_per_line +
-      noc_.latency(noc_.hops(mc, core), cfg_.flits_per_line());
+      noc_.latency(noc_.hops(mc, core), flits_line_);
   return lat;
 }
 
@@ -394,23 +508,23 @@ void System::dma_unmap_chunk(unsigned core, const Region& region,
       region.base + st.current_chunk * cfg_.dma_chunk_bytes;
   const std::uint64_t chunk_end =
       std::min(region.base + region.bytes, chunk_base + cfg_.dma_chunk_bytes);
-  const bool dirty = st.dirty || dirty_tags_.contains(st.chunk_tag);
+  const bool dirty = st.dirty || dirty_tag(st.chunk_tag);
   const unsigned home = home_of(chunk_base);
 
   unsigned dirty_lines = 0;
   for (std::uint64_t line = chunk_base; line < chunk_end;
        line += cfg_.line_bytes) {
-    const auto vit = spm_values_.find(line);
-    if (dirty && vit != spm_values_.end()) {
+    LineInfo& li = lines_.at(line);
+    if (dirty && li.spm_valid) {
       // Write back the valid lines to the home L2 bank (L2-backed DMA);
       // DRAM is updated lazily on L2 eviction like any other dirty line.
       // Write-allocated chunks write back only the lines actually written.
       metrics_.e_spm += cfg_.e_spm;  // SPM read for the writeback
-      l2_install(line, vit->second, /*dirty=*/true);
+      l2_install(line, li.spm_value, /*dirty=*/true);
       ++dirty_lines;
     }
-    if (vit != spm_values_.end()) spm_values_.erase(vit);
-    spm_directory_.unmap_line(line);
+    li.spm_valid = false;
+    li.spm_mapped = false;
   }
   if (dirty_lines > 0)
     send(core, home, dirty_lines * (cfg_.line_bytes / 8) + 1);  // one burst
@@ -418,23 +532,24 @@ void System::dma_unmap_chunk(unsigned core, const Region& region,
   metrics_.e_dir += cfg_.e_dir;
   send(core, home, 1);
   if (dirty) ++metrics_.writebacks;
-  dirty_tags_.erase(st.chunk_tag);
+  if (st.chunk_tag < dirty_tags_.size()) dirty_tags_[st.chunk_tag] = 0;
   st.current_chunk = SoftwareCacheState::kNoChunk;
   st.dirty = false;
 }
 
 unsigned System::spm_access(unsigned core, std::size_t region_idx,
                             const Region& region, std::uint64_t addr,
-                            bool store) {
-  const StreamKey key{core, region_idx};
-  auto [it, inserted] = streams_.try_emplace(key);
-  SoftwareCacheState& st = it->second;
-  if (inserted) {
+                            std::uint64_t line, bool store) {
+  SoftwareCacheState& st = streams_[core * region_count_ + region_idx];
+  if (!st.open) {
+    st.open = true;
     spm_alloc_[core].reserve_stream();
     st.prefetch_done_cycle = -1.0;  // first touch: full DMA latency
   }
 
-  const std::uint64_t chunk = (addr - region.base) / cfg_.dma_chunk_bytes;
+  const std::uint64_t chunk = chunk_pow2_
+                                  ? (addr - region.base) >> chunk_shift_
+                                  : (addr - region.base) / cfg_.dma_chunk_bytes;
   unsigned lat = 0;
   if (chunk != st.current_chunk) {
     dma_unmap_chunk(core, region, st);
@@ -458,60 +573,59 @@ unsigned System::spm_access(unsigned core, std::size_t region_idx,
     lat += static_cast<unsigned>(stall);
   }
 
-  const std::uint64_t line = line_of(addr);
+  LineInfo& li = lines_.at(line);
   lat += cfg_.lat_spm_hit;
   metrics_.e_spm += cfg_.e_spm;
   ++metrics_.spm_hits;
   if (store) {
     const std::uint64_t v = fresh_version();
-    spm_values_[line] = v;
-    record_store(line, v);
+    li.spm_value = v;
+    li.spm_valid = true;
+    li.oracle = v;
     st.dirty = true;
   } else {
-    const auto vit = spm_values_.find(line);
-    RAA_CHECK(vit != spm_values_.end());
-    check_load_value(line, vit->second);
+    RAA_CHECK(li.spm_valid);
+    check_load_value(li, li.spm_value);
   }
   return lat;
 }
 
-unsigned System::guarded_access(unsigned core, std::uint64_t addr,
+unsigned System::guarded_access(unsigned core, std::uint64_t line,
                                 bool store) {
-  const std::uint64_t line = line_of(addr);
   unsigned lat = cfg_.lat_filter;
   metrics_.e_dir += cfg_.e_filter;
   ++metrics_.guarded_lookups;
 
-  const SpmMapping* m = spm_directory_.lookup(line);
-  if (m == nullptr) return lat + cache_access(core, line, store);
+  LineInfo& li = lines_.at(line);
+  if (!li.spm_mapped) return lat + cache_access(core, line, li, store);
 
   ++metrics_.guarded_to_spm;
   if (store) {
-    if (m->tile != core) {
+    if (li.spm_tile != core) {
       ++metrics_.remote_spm_accesses;
-      lat += send(core, m->tile, 1) + send(m->tile, core, 1);
+      lat += send(core, li.spm_tile, 1) + send(li.spm_tile, core, 1);
     }
     lat += cfg_.lat_spm_hit;
     metrics_.e_spm += cfg_.e_spm;
     ++metrics_.spm_hits;
     const std::uint64_t v = fresh_version();
-    spm_values_[line] = v;
-    record_store(line, v);
-    dirty_tags_.insert(m->chunk_tag);
+    li.spm_value = v;
+    li.spm_valid = true;
+    li.oracle = v;
+    mark_dirty_tag(li.spm_chunk_tag);
     return lat;
   }
 
-  const auto vit = spm_values_.find(line);
-  if (vit != spm_values_.end()) {
-    if (m->tile != core) {
+  if (li.spm_valid) {
+    if (li.spm_tile != core) {
       ++metrics_.remote_spm_accesses;
-      lat += send(core, m->tile, 1) +
-             send(m->tile, core, cfg_.flits_per_line());
+      lat += send(core, li.spm_tile, 1) +
+             send(li.spm_tile, core, flits_line_);
     }
     lat += cfg_.lat_spm_hit;
     metrics_.e_spm += cfg_.e_spm;
     ++metrics_.spm_hits;
-    check_load_value(line, vit->second);
+    check_load_value(li, li.spm_value);
     return lat;
   }
 
@@ -522,29 +636,36 @@ unsigned System::guarded_access(unsigned core, std::uint64_t addr,
   lat += send(core, home, 1) + cfg_.lat_dir;
   metrics_.e_dir += cfg_.e_dir;
   std::uint64_t value = 0;
-  if (l2_[home].access(line) != LineState::invalid) {
+  if (const std::size_t w = l2_[home].probe_touch(line);
+      w != Cache::kMiss) {
     ++metrics_.l2_hits;
     metrics_.e_l2 += cfg_.e_l2;
-    value = l2_[home].value(line);
-    lat += cfg_.lat_l2_hit + send(home, core, cfg_.flits_per_line());
+    value = l2_[home].value_of(w);
+    lat += cfg_.lat_l2_hit + send(home, core, flits_line_);
   } else {
     const unsigned mc = noc_.nearest_mc(home);
-    value = dram_value(line);
+    value = li.dram;
     ++metrics_.dram_line_reads;
     metrics_.e_dram += cfg_.e_dram_line;
     lat += send(home, mc, 1) + cfg_.lat_dram +
-           send(mc, home, cfg_.flits_per_line()) +
-           send(home, core, cfg_.flits_per_line());
-    l2_install(line, value, /*dirty=*/false);
+           send(mc, home, flits_line_) +
+           send(home, core, flits_line_);
+    l2_insert_absent(home, line, value, /*dirty=*/false);
   }
-  check_load_value(line, value);
+  check_load_value(li, value);
   return lat;
 }
 
 void System::flush_all_software_caches() {
-  for (auto& [key, st] : streams_) {
-    RAA_CHECK(workload_ != nullptr && key.region < workload_->regions.size());
-    dma_unmap_chunk(key.core, workload_->regions[key.region], st);
+  RAA_CHECK(workload_ != nullptr);
+  // Deterministic (core, region) order — the old hash-map iteration order
+  // was arbitrary; flush-time L2 evictions are now reproducible.
+  for (unsigned core = 0; core < cfg_.tiles; ++core) {
+    for (std::size_t r = 0; r < region_count_; ++r) {
+      SoftwareCacheState& st = streams_[core * region_count_ + r];
+      if (!st.open) continue;
+      dma_unmap_chunk(core, run_regions_[r], st);
+    }
   }
 }
 
@@ -554,24 +675,40 @@ Metrics System::run(Workload& workload) {
   workload_ = &workload;
   metrics_ = Metrics{};
   core_clock_.assign(cfg_.tiles, 0.0);
-  streams_.clear();
+  region_count_ = workload.regions.size();
+  streams_.assign(cfg_.tiles * std::max<std::size_t>(region_count_, 1), {});
+  // Flatten the region deque: the per-access region checks index it hard.
+  run_regions_.assign(workload.regions.begin(), workload.regions.end());
 
-  // Cache region lookup per core: streams are strongly region-local.
-  std::vector<std::size_t> last_region(cfg_.tiles, 0);
+  // Per-core batched pull state: one virtual fill() per kBatch accesses.
+  constexpr unsigned kBatch = 64;
+  struct CoreState {
+    std::array<Access, kBatch> buf;
+    unsigned head = 0;
+    unsigned count = 0;
+    std::size_t last_region = 0;  ///< streams are strongly region-local
+  };
+  std::vector<CoreState> cores(cfg_.tiles);
 
   // Advance the core with the smallest local clock (deterministic
   // interleaving; ties resolved by core id).
-  using Slot = std::pair<double, unsigned>;
-  std::priority_queue<Slot, std::vector<Slot>, std::greater<>> order;
-  for (unsigned c = 0; c < cfg_.tiles; ++c) order.emplace(0.0, c);
+  CoreHeap order{core_clock_, cfg_.tiles};
 
-  Access acc;
   while (!order.empty()) {
-    const auto [clock, core] = order.top();
-    order.pop();
-    if (!workload.programs[core]->next(acc)) continue;  // core finished
-    ++metrics_.accesses;
-    core_clock_[core] = clock + acc.gap_cycles;
+    const unsigned core = order.top();
+    CoreState& cs = cores[core];
+    if (cs.head == cs.count) {
+      cs.count = static_cast<unsigned>(
+          workload.programs[core]->fill({cs.buf.data(), kBatch}));
+      cs.head = 0;
+      if (cs.count == 0) {  // core finished
+        order.pop_top();
+        continue;
+      }
+      metrics_.accesses += cs.count;  // counted per batch, not per access
+    }
+    const Access& acc = cs.buf[cs.head++];
+    core_clock_[core] += acc.gap_cycles;
 
     unsigned lat = 0;
     const std::uint64_t line = line_of(acc.addr);
@@ -580,37 +717,37 @@ Metrics System::run(Workload& workload) {
         case RefClass::strided: {
           // Resolve the region (streams revisit the same region, so the
           // memoised index almost always hits).
-          std::size_t r = last_region[core];
-          if (r >= workload.regions.size() ||
-              !workload.regions[r].contains(acc.addr)) {
+          std::size_t r = cs.last_region;
+          if (r >= region_count_ || !run_regions_[r].contains(acc.addr)) {
             r = 0;
-            while (r < workload.regions.size() &&
-                   !workload.regions[r].contains(acc.addr))
+            while (r < region_count_ && !run_regions_[r].contains(acc.addr))
               ++r;
-            RAA_CHECK_MSG(r < workload.regions.size(),
+            RAA_CHECK_MSG(r < region_count_,
                           "strided access outside any declared region");
-            last_region[core] = r;
+            cs.last_region = r;
           }
-          lat = spm_access(core, r, workload.regions[r], acc.addr,
+          lat = spm_access(core, r, run_regions_[r], acc.addr, line,
                            acc.is_store);
           break;
         }
-        case RefClass::random_noalias:
+        case RefClass::random_noalias: {
           // Compiler contract: no-alias references never touch SPM-mapped
           // data. A violation would be a kernel classification bug.
-          RAA_CHECK(spm_directory_.lookup(line) == nullptr);
-          lat = cache_access(core, line, acc.is_store);
+          LineInfo& li = lines_.at(line);
+          RAA_CHECK(!li.spm_mapped);
+          lat = cache_access(core, line, li, acc.is_store);
           break;
+        }
         case RefClass::random_unknown:
-          lat = guarded_access(core, acc.addr, acc.is_store);
+          lat = guarded_access(core, line, acc.is_store);
           break;
       }
     } else {
-      lat = cache_access(core, line, acc.is_store);
+      lat = cache_access(core, line, lines_.at(line), acc.is_store);
     }
 
     core_clock_[core] += lat;
-    order.emplace(core_clock_[core], core);
+    order.sift_top();
   }
 
   flush_all_software_caches();

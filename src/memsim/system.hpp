@@ -23,18 +23,23 @@
 /// serves stale data. This check is what the protocol unit tests lean on,
 /// and it stays enabled in benches (it would fail loudly on a protocol
 /// bug).
+///
+/// Hot-path engineering: all per-line bookkeeping (DRAM/oracle/SPM values,
+/// directory, SPM mappings, prefetch tags) lives in one flat line table
+/// (linetable.hpp) fetched once per access; cores interleave through a
+/// flat index-min heap sifted in place; access streams are pulled in
+/// batches through CoreProgram::fill. The `LineStore::hashed` backend
+/// preserves the old per-access-hash shape for equivalence testing.
 
 #include <array>
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "memsim/access.hpp"
 #include "memsim/cache.hpp"
 #include "memsim/config.hpp"
-#include "memsim/directory.hpp"
+#include "memsim/linetable.hpp"
 #include "memsim/noc.hpp"
 #include "memsim/spm.hpp"
 
@@ -43,7 +48,8 @@ namespace raa::mem {
 /// See file comment.
 class System {
  public:
-  System(const SystemConfig& config, HierarchyMode mode);
+  System(const SystemConfig& config, HierarchyMode mode,
+         LineStore store = LineStore::paged);
 
   /// Run a workload to completion and return the metrics. The workload's
   /// programs are consumed. Requires programs.size() == config.tiles.
@@ -51,29 +57,27 @@ class System {
 
   HierarchyMode mode() const noexcept { return mode_; }
   const SystemConfig& config() const noexcept { return cfg_; }
+  LineStore line_store() const noexcept { return lines_.store(); }
 
  private:
-  struct StreamKey {
-    unsigned core;
-    std::size_t region;
-    bool operator==(const StreamKey&) const = default;
-  };
-  struct StreamKeyHash {
-    std::size_t operator()(const StreamKey& k) const noexcept {
-      return (static_cast<std::size_t>(k.core) << 32) ^ k.region;
-    }
-  };
+  static std::uint64_t bit(unsigned tile) noexcept {
+    return std::uint64_t{1} << tile;
+  }
 
   std::uint64_t line_of(std::uint64_t addr) const {
-    return addr / cfg_.line_bytes * cfg_.line_bytes;
+    return line_pow2_ ? addr & ~std::uint64_t{cfg_.line_bytes - 1}
+                      : addr / cfg_.line_bytes * cfg_.line_bytes;
   }
   /// Home L2 bank. Interleaved at DMA-chunk granularity so a chunk has a
   /// single home: the SPM-directory transaction is one message and DMA
   /// transfers are single bursts (per-line interleaving would shatter every
   /// chunk across all banks).
   unsigned home_of(std::uint64_t line_addr) const {
-    return static_cast<unsigned>((line_addr / cfg_.dma_chunk_bytes) %
-                                 cfg_.tiles);
+    const std::uint64_t chunk = chunk_pow2_
+                                    ? line_addr >> chunk_shift_
+                                    : line_addr / cfg_.dma_chunk_bytes;
+    return static_cast<unsigned>(
+        tiles_pow2_ ? chunk & (cfg_.tiles - 1) : chunk % cfg_.tiles);
   }
 
   /// Account one message (traffic + energy) and return its latency.
@@ -81,31 +85,35 @@ class System {
 
   // --- value plumbing (functional coherence model) ---
   std::uint64_t fresh_version() { return ++version_counter_; }
-  std::uint64_t dram_value(std::uint64_t line) const;
-  void dram_write(std::uint64_t line, std::uint64_t value);
-  void check_load_value(std::uint64_t line, std::uint64_t served) const;
-  void record_store(std::uint64_t line, std::uint64_t version);
+  void check_load_value(const LineInfo& li, std::uint64_t served) const;
 
   // --- cache-path protocol actions (return latency in cycles) ---
-  unsigned cache_access(unsigned core, std::uint64_t line, bool store);
+  unsigned cache_access(unsigned core, std::uint64_t line, LineInfo& li,
+                        bool store);
   /// Tagged next-line stream prefetch into `core`'s L1 (latency hidden,
   /// traffic and energy fully charged).
   void prefetch(unsigned core, std::uint64_t line);
-  unsigned upgrade_to_modified(unsigned core, std::uint64_t line);
+  unsigned upgrade_to_modified(unsigned core, std::uint64_t line,
+                               LineInfo& li);
   /// Fetch the line for `core`; fills `value` with the coherent data and
   /// returns latency. Handles owner forwarding / L2 / DRAM.
-  unsigned fetch_line(unsigned core, std::uint64_t line,
+  unsigned fetch_line(unsigned core, std::uint64_t line, LineInfo& li,
                       std::uint64_t& value, bool for_store);
   void l1_install(unsigned core, std::uint64_t line, LineState st,
                   std::uint64_t value);
   void l2_install(std::uint64_t line, std::uint64_t value, bool dirty);
+  /// l2_install for a line the caller just probed absent (skips re-probe).
+  void l2_insert_absent(unsigned home, std::uint64_t line,
+                        std::uint64_t value, bool dirty);
   /// Invalidate every L1 copy except `except_core` (-1: all); returns the
   /// latency of the farthest invalidation round trip from the home.
-  unsigned invalidate_sharers(std::uint64_t line, int except_core);
+  unsigned invalidate_sharers(std::uint64_t line, LineInfo& li,
+                              int except_core);
 
   // --- SPM path ---
   unsigned spm_access(unsigned core, std::size_t region_idx,
-                      const Region& region, std::uint64_t addr, bool store);
+                      const Region& region, std::uint64_t addr,
+                      std::uint64_t line, bool store);
   /// Map a chunk into `core`'s SPM slice. With `fetch`, DMA-in the valid
   /// copies (invalidating cached ones); without (write-allocated output
   /// chunk) only the coherence actions run and lines become valid in the
@@ -115,27 +123,46 @@ class System {
                        bool fetch);
   void dma_unmap_chunk(unsigned core, const Region& region,
                        SoftwareCacheState& st);
-  unsigned guarded_access(unsigned core, std::uint64_t addr, bool store);
+  /// `line` is the (already line-aligned) address of the access.
+  unsigned guarded_access(unsigned core, std::uint64_t line, bool store);
+
+  // --- chunk-tag dirty bits (guarded remote stores) ---
+  void mark_dirty_tag(std::uint32_t tag) {
+    if (tag >= dirty_tags_.size()) dirty_tags_.resize(tag + 1, 0);
+    dirty_tags_[tag] = 1;
+  }
+  bool dirty_tag(std::uint32_t tag) const {
+    return tag < dirty_tags_.size() && dirty_tags_[tag] != 0;
+  }
 
   void flush_all_software_caches();
 
   SystemConfig cfg_;
   HierarchyMode mode_;
   Noc noc_;
+  bool line_pow2_ = false;
+  bool chunk_pow2_ = false;
+  bool tiles_pow2_ = false;
+  unsigned chunk_shift_ = 0;
+  unsigned flits_line_ = 0;  ///< cfg_.flits_per_line(), cached
 
   std::vector<Cache> l1_;  ///< one per tile
   /// One bank per tile. L2 line state encodes cleanliness: shared = clean,
   /// modified = dirty w.r.t. DRAM.
   std::vector<Cache> l2_;
-  Directory directory_;
-  SpmDirectory spm_directory_;
-  std::unordered_map<std::uint64_t, std::uint64_t> spm_values_;
-  std::unordered_map<std::uint64_t, std::uint64_t> dram_;
-  std::unordered_map<std::uint64_t, std::uint64_t> reference_;  ///< oracle
+  /// All per-line state: DRAM/oracle/SPM values, directory entry, SPM
+  /// mapping, prefetch tags. One record per line, one lookup per access.
+  LineTable lines_;
 
-  std::unordered_map<StreamKey, SoftwareCacheState, StreamKeyHash> streams_;
-  /// Chunks dirtied by *remote* guarded stores (keyed by chunk tag).
-  std::unordered_set<std::uint32_t> dirty_tags_;
+  /// (core, region) software-cache states, flat: core * region_count + r.
+  /// Sized at the start of run() from the workload's region table.
+  std::vector<SoftwareCacheState> streams_;
+  std::size_t region_count_ = 0;
+  /// Flat copy of the workload's region deque for the run (hot lookups).
+  std::vector<Region> run_regions_;
+  /// Chunks dirtied by *remote* guarded stores, indexed by chunk tag
+  /// (tags are handed out sequentially, so a flat bitmap replaces a set).
+  std::vector<std::uint8_t> dirty_tags_;
   std::vector<SpmAllocator> spm_alloc_;
   const Workload* workload_ = nullptr;
 
@@ -144,11 +171,10 @@ class System {
   std::uint32_t chunk_tag_counter_ = 0;
   Metrics metrics_;
 
-  // Stream-prefetcher state (per core): 8 sequential-stream trackers plus
-  // the set of prefetched-but-not-yet-used lines (the "tag" bit).
+  // Stream-prefetcher state (per core): 8 sequential-stream trackers; the
+  // prefetched-but-not-yet-used "tag" bit lives in LineInfo::prefetch_mask.
   std::vector<std::array<std::uint64_t, 8>> stream_trackers_;
   std::vector<std::size_t> tracker_rr_;
-  std::vector<std::unordered_set<std::uint64_t>> prefetched_;
   /// Set by fetch_line when the last load fill was granted Exclusive.
   bool exclusive_grant_ = false;
 };

@@ -102,6 +102,13 @@ CompareResult compare(const json::Value& baseline, const json::Value& results,
         throw std::runtime_error(
             "baseline: metric without \"name\"/\"median\" in benchmark \"" +
             *bench_name + "\"");
+      // Informational metrics (host wall-clock / throughput) are tracked
+      // for trends but exempt from the two-sided gate.
+      if (const auto* info = m.find("informational");
+          info && info->is_bool() && info->as_bool()) {
+        ++out.informational_skipped;
+        continue;
+      }
 
       MetricDelta d;
       d.benchmark = *bench_name;

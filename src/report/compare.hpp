@@ -40,8 +40,12 @@ struct MetricDelta {
 };
 
 struct CompareResult {
-  std::vector<MetricDelta> deltas;  ///< one entry per baseline metric
+  std::vector<MetricDelta> deltas;  ///< one entry per gated baseline metric
   std::size_t extra_metrics = 0;    ///< in the results but not the baseline
+  /// Baseline metrics carrying `"informational": true` (host wall-clock,
+  /// throughput): recorded for trends, never gated — host noise must not
+  /// fail CI.
+  std::size_t informational_skipped = 0;
 
   std::size_t violations() const noexcept;
   bool ok() const noexcept { return violations() == 0; }

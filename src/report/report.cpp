@@ -2,6 +2,13 @@
 
 #include <fstream>
 
+// Generated at build time (cmake/git_sha.cmake); defines RAA_GIT_SHA with
+// the current short HEAD sha. Guarded so the file also compiles in builds
+// that don't wire up the generator.
+#ifdef RAA_HAVE_GIT_SHA_HEADER
+#include "raa_git_sha.hpp"
+#endif
+
 namespace raa::report {
 
 Environment Environment::capture() {
@@ -53,6 +60,7 @@ json::Value Metric::to_json() const {
   v.set("name", name_);
   if (!unit_.empty()) v.set("unit", unit_);
   if (paper_value_) v.set("paper_value", *paper_value_);
+  if (informational_) v.set("informational", true);
   const Summary s = summary();
   v.set("count", s.count);
   v.set("min", s.min);
@@ -77,10 +85,11 @@ void BenchReport::set_param(const std::string& key, const std::string& value) {
 }
 
 Metric& BenchReport::metric(const std::string& name, const std::string& unit,
-                            std::optional<double> paper_value) {
+                            std::optional<double> paper_value,
+                            bool informational) {
   for (auto& m : metrics_)
     if (m.name() == name) return m;
-  metrics_.emplace_back(name, unit, paper_value);
+  metrics_.emplace_back(name, unit, paper_value, informational);
   return metrics_.back();
 }
 
@@ -88,6 +97,11 @@ void BenchReport::record(const std::string& name, double value,
                          const std::string& unit,
                          std::optional<double> paper_value) {
   metric(name, unit, paper_value).add_sample(value);
+}
+
+void BenchReport::record_info(const std::string& name, double value,
+                              const std::string& unit) {
+  metric(name, unit, std::nullopt, /*informational=*/true).add_sample(value);
 }
 
 json::Value BenchReport::to_json() const {
@@ -118,6 +132,7 @@ json::Value RunReport::to_json() const {
   v.set("schema", kSchemaName);
   v.set("schema_version", kSchemaVersion);
   v.set("reps", reps_);
+  if (wall_seconds_) v.set("wall_seconds", *wall_seconds_);
   v.set("environment", env_.to_json());
   json::Value benches{json::Array{}};
   for (const auto& b : benchmarks_) benches.push_back(b.to_json());

@@ -33,16 +33,23 @@ struct Environment {
 };
 
 /// One metric: a named series of per-repetition samples plus metadata.
+/// `informational` marks host-dependent measurements (wall-clock seconds,
+/// accesses/sec): they are serialized like any other metric so trends
+/// accumulate, but the baseline comparison never gates on them (host noise
+/// must not fail CI — see docs/BENCHMARKS.md).
 class Metric {
  public:
-  Metric(std::string name, std::string unit, std::optional<double> paper_value)
+  Metric(std::string name, std::string unit, std::optional<double> paper_value,
+         bool informational = false)
       : name_(std::move(name)),
         unit_(std::move(unit)),
-        paper_value_(paper_value) {}
+        paper_value_(paper_value),
+        informational_(informational) {}
 
   const std::string& name() const noexcept { return name_; }
   const std::string& unit() const noexcept { return unit_; }
   std::optional<double> paper_value() const noexcept { return paper_value_; }
+  bool informational() const noexcept { return informational_; }
   const std::vector<double>& samples() const noexcept { return samples_; }
 
   void add_sample(double v) { samples_.push_back(v); }
@@ -57,6 +64,7 @@ class Metric {
   std::string name_;
   std::string unit_;
   std::optional<double> paper_value_;
+  bool informational_ = false;
   std::vector<double> samples_;
 };
 
@@ -72,15 +80,22 @@ class BenchReport {
   /// Re-setting a key overwrites; repetition-idempotent.
   void set_param(const std::string& key, const std::string& value);
 
-  /// Get-or-create a metric. unit/paper_value are taken from the first
-  /// call for a given name; later calls just return the series.
+  /// Get-or-create a metric. unit/paper_value/informational are taken
+  /// from the first call for a given name; later calls just return the
+  /// series.
   Metric& metric(const std::string& name, const std::string& unit = "",
-                 std::optional<double> paper_value = std::nullopt);
+                 std::optional<double> paper_value = std::nullopt,
+                 bool informational = false);
 
   /// Shorthand: metric(...).add_sample(value).
   void record(const std::string& name, double value,
               const std::string& unit = "",
               std::optional<double> paper_value = std::nullopt);
+
+  /// Record a host-dependent (informational) sample: serialized into the
+  /// report but exempt from the baseline comparison's two-sided gate.
+  void record_info(const std::string& name, double value,
+                   const std::string& unit = "");
 
   const std::vector<Metric>& metrics() const noexcept { return metrics_; }
 
@@ -97,6 +112,10 @@ class BenchReport {
 class RunReport {
  public:
   explicit RunReport(int reps) : reps_(reps), env_(Environment::capture()) {}
+
+  /// Total host wall-clock of the run (informational; serialized as a
+  /// top-level "wall_seconds" field, never compared against baselines).
+  void set_wall_seconds(double s) { wall_seconds_ = s; }
 
   /// Get-or-create the report for one benchmark.
   BenchReport& benchmark(const std::string& name,
@@ -115,6 +134,7 @@ class RunReport {
  private:
   int reps_;
   Environment env_;
+  std::optional<double> wall_seconds_;
   std::vector<BenchReport> benchmarks_;
 };
 

@@ -6,9 +6,25 @@
 
 namespace raa::rt {
 
-void DependenceRegistry::add_unique(std::vector<TaskId>& v, TaskId id) {
-  if (id == kNoTask) return;
-  if (std::find(v.begin(), v.end(), id) == v.end()) v.push_back(id);
+namespace {
+/// First reader-capacity reservation: most segments see a handful of
+/// readers between writers; reserving up front avoids the 1->2->4 growth
+/// reallocations that used to dominate reader-list churn.
+constexpr std::size_t kReaderReserve = 8;
+}  // namespace
+
+void DependenceRegistry::note_pred(std::vector<TaskId>& preds, TaskId id) {
+  // Duplicates are fine here: register_task sort+dedups once at the end,
+  // which replaces the old O(preds) linear scan per candidate.
+  if (id != kNoTask) preds.push_back(id);
+}
+
+void DependenceRegistry::add_reader(Segment& seg, TaskId task) {
+  // All of a task's registrations are applied back-to-back, so a duplicate
+  // reader entry can only be the immediately preceding one.
+  if (!seg.readers.empty() && seg.readers.back() == task) return;
+  if (seg.readers.empty()) seg.readers.reserve(kReaderReserve);
+  seg.readers.push_back(task);
 }
 
 void DependenceRegistry::split_at(std::uintptr_t at) {
@@ -40,16 +56,16 @@ void DependenceRegistry::apply(TaskId task, std::uintptr_t lo,
 
   const auto touch = [&](Segment& seg) {
     if (reads) {
-      add_unique(preds, seg.writer);  // RAW
+      note_pred(preds, seg.writer);  // RAW
     }
     if (writes) {
-      add_unique(preds, seg.writer);              // WAW
-      for (const TaskId r : seg.readers)          // WAR
-        add_unique(preds, r);
+      note_pred(preds, seg.writer);         // WAW
+      for (const TaskId r : seg.readers)    // WAR
+        note_pred(preds, r);
       seg.writer = task;
-      seg.readers.clear();
+      seg.readers.clear();  // keeps capacity for the next reader epoch
     } else {
-      add_unique(seg.readers, task);
+      add_reader(seg, task);
     }
   };
 
@@ -62,7 +78,7 @@ void DependenceRegistry::apply(TaskId task, std::uintptr_t lo,
         fresh.writer = task;
       } else {
         fresh.writer = kNoTask;
-        fresh.readers.push_back(task);
+        add_reader(fresh, task);
       }
       it = segments_.emplace(cursor, std::move(fresh)).first;
       ++it;
@@ -76,7 +92,7 @@ void DependenceRegistry::apply(TaskId task, std::uintptr_t lo,
       if (writes) {
         fresh.writer = task;
       } else {
-        fresh.readers.push_back(task);
+        add_reader(fresh, task);
       }
       segments_.emplace(cursor, std::move(fresh));
       cursor = it->first;
@@ -89,9 +105,6 @@ void DependenceRegistry::apply(TaskId task, std::uintptr_t lo,
     cursor = it->second.end;
     ++it;
   }
-
-  // A task's own earlier access must not appear as its predecessor.
-  std::erase(preds, task);
 }
 
 void DependenceRegistry::register_task(TaskId task, std::span<const Dep> deps,
@@ -100,6 +113,13 @@ void DependenceRegistry::register_task(TaskId task, std::span<const Dep> deps,
     if (d.bytes == 0) continue;
     apply(task, d.base, d.base + d.bytes, d.mode, preds);
   }
+  // One sort+dedup per registration instead of an O(preds) membership scan
+  // per candidate predecessor (the old add_unique was quadratic in the
+  // reader count of hot ranges). A task's own earlier accesses must not
+  // appear as its predecessors.
+  std::sort(preds.begin(), preds.end());
+  preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+  std::erase(preds, task);
 }
 
 }  // namespace raa::rt

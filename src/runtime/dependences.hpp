@@ -29,7 +29,9 @@ namespace raa::rt {
 class DependenceRegistry {
  public:
   /// Register `task`'s accesses; appends the ids of tasks it must wait for
-  /// into `preds` (deduplicated, excluding `task` itself).
+  /// into `preds` (excluding `task` itself). `preds` comes back sorted and
+  /// deduplicated as a whole — callers pass a fresh (or don't-care-order)
+  /// vector; the single sort+dedup replaces a per-candidate linear scan.
   void register_task(TaskId task, std::span<const Dep> deps,
                      std::vector<TaskId>& preds);
 
@@ -55,7 +57,10 @@ class DependenceRegistry {
   void apply(TaskId task, std::uintptr_t lo, std::uintptr_t hi,
              AccessMode mode, std::vector<TaskId>& preds);
 
-  static void add_unique(std::vector<TaskId>& v, TaskId id);
+  /// Append a predecessor candidate (duplicates resolved later in bulk).
+  static void note_pred(std::vector<TaskId>& preds, TaskId id);
+  /// Append `task` to a segment's reader list (adjacent-duplicate safe).
+  static void add_reader(Segment& seg, TaskId task);
 
   SegMap segments_;
 };

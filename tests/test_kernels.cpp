@@ -35,6 +35,63 @@ SystemConfig test_cfg() {
   return cfg;
 }
 
+/// A phase list mixing linear, random and rmw streams — the rmw pairs make
+/// odd batch sizes interesting (a pair can straddle a fill() boundary).
+std::vector<Phase> mixed_phases(const Region& lin, const Region& rnd) {
+  std::vector<Phase> ph;
+  ph.push_back(Phase{
+      .streams = {Stream{.region = &lin, .stride = 8},
+                  Stream{.region = &rnd, .kind = StreamKind::random_rmw,
+                         .ref = RefClass::random_unknown, .elem_bytes = 8}},
+      .iterations = 37,
+      .gap_cycles = 3});
+  ph.push_back(Phase{.streams = {}, .iterations = 5});  // empty: skipped
+  ph.push_back(Phase{
+      .streams = {Stream{.region = &rnd, .kind = StreamKind::random,
+                         .store = true, .ref = RefClass::random_noalias,
+                         .elem_bytes = 8}},
+      .iterations = 29,
+      .gap_cycles = 1});
+  return ph;
+}
+
+TEST(ScriptedProgram, FillMatchesNextExactly) {
+  Workload w;
+  AddressSpace as{4096};
+  const Region& lin = as.add(w, "lin", 4096, RefClass::strided);
+  const Region& rnd = as.add(w, "rnd", 4096, RefClass::random_unknown);
+
+  // Pull the same deterministic program one access at a time...
+  ScriptedProgram one{mixed_phases(lin, rnd), 99};
+  std::vector<Access> via_next;
+  Access a;
+  while (one.next(a)) via_next.push_back(a);
+  ASSERT_FALSE(via_next.empty());
+
+  // ...and in batches of awkward sizes (7 does not divide the rmw pairs,
+  // so pending stores must carry across fill() calls).
+  for (const std::size_t batch : {1u, 2u, 7u, 64u, 1000u}) {
+    ScriptedProgram many{mixed_phases(lin, rnd), 99};
+    std::vector<Access> via_fill;
+    std::vector<Access> buf(batch);
+    for (;;) {
+      const std::size_t n = many.fill({buf.data(), batch});
+      via_fill.insert(via_fill.end(), buf.begin(),
+                      buf.begin() + static_cast<std::ptrdiff_t>(n));
+      if (n == 0) break;
+    }
+    ASSERT_EQ(via_fill.size(), via_next.size()) << "batch=" << batch;
+    for (std::size_t i = 0; i < via_next.size(); ++i) {
+      EXPECT_EQ(via_fill[i].addr, via_next[i].addr) << i;
+      EXPECT_EQ(via_fill[i].is_store, via_next[i].is_store) << i;
+      EXPECT_EQ(via_fill[i].ref, via_next[i].ref) << i;
+      EXPECT_EQ(via_fill[i].gap_cycles, via_next[i].gap_cycles) << i;
+    }
+    // fill() stays 0 after end of stream.
+    EXPECT_EQ(many.fill({buf.data(), batch}), 0u);
+  }
+}
+
 TEST(ScriptedProgram, LinearStreamAddresses) {
   Workload w;
   AddressSpace as{4096};

@@ -9,6 +9,7 @@
 
 #include "common/rng.hpp"
 #include "kernels/program.hpp"
+#include "memsim/linetable.hpp"
 #include "memsim/noc.hpp"
 #include "memsim/system.hpp"
 
@@ -22,6 +23,9 @@ using raa::kern::StreamKind;
 using raa::mem::Access;
 using raa::mem::CoreProgram;
 using raa::mem::HierarchyMode;
+using raa::mem::LineInfo;
+using raa::mem::LineStore;
+using raa::mem::LineTable;
 using raa::mem::Metrics;
 using raa::mem::Noc;
 using raa::mem::RefClass;
@@ -391,6 +395,200 @@ TEST_P(ProtocolFuzz, NoStaleDataUnderRandomInterleavings) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolFuzz,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// --- line table --------------------------------------------------------
+
+TEST(LineTable, DefaultsEncodeAbsence) {
+  LineTable t{64};
+  EXPECT_EQ(t.peek(0), nullptr);  // untouched: no page allocated
+  const LineInfo& li = t.at(1 << 20);
+  EXPECT_EQ(li.dram, 0u);
+  EXPECT_EQ(li.oracle, 0u);
+  EXPECT_EQ(li.sharers, 0u);
+  EXPECT_EQ(li.prefetch_mask, 0u);
+  EXPECT_EQ(li.owner, -1);
+  EXPECT_FALSE(li.spm_mapped);
+  EXPECT_FALSE(li.spm_valid);
+}
+
+TEST(LineTable, RecordsArePerLineAndPersistent) {
+  LineTable t{64};
+  t.at(64 * 7).dram = 111;
+  t.at(64 * 8).dram = 222;
+  EXPECT_EQ(t.at(64 * 7).dram, 111u);
+  EXPECT_EQ(t.at(64 * 8).dram, 222u);
+  // peek sees the same records without allocating.
+  ASSERT_NE(t.peek(64 * 7), nullptr);
+  EXPECT_EQ(t.peek(64 * 7)->dram, 111u);
+}
+
+TEST(LineTable, PageBoundaryNeighboursAreDistinct) {
+  LineTable t{64};
+  // Last line of page 0 and first line of page 1.
+  const std::uint64_t last = (LineTable::kPageLines - 1) * 64;
+  const std::uint64_t first = LineTable::kPageLines * 64;
+  t.at(last).oracle = 1;
+  t.at(first).oracle = 2;
+  EXPECT_EQ(t.at(last).oracle, 1u);
+  EXPECT_EQ(t.at(first).oracle, 2u);
+  EXPECT_EQ(t.pages_allocated(), 2u);
+}
+
+TEST(LineTable, SparseAddressesAllocateOnlyTouchedPages) {
+  LineTable t{64};
+  t.at(0);
+  t.at(std::uint64_t{1} << 30);  // ~16M lines away
+  EXPECT_EQ(t.pages_allocated(), 2u);
+  EXPECT_GT(t.page_slots(), 2u);  // top-level vector is sparse (null slots)
+  // A line between the two touched pages is still unallocated.
+  EXPECT_EQ(t.peek(std::uint64_t{1} << 25), nullptr);
+}
+
+TEST(LineTable, UnmapSemanticsViaFlags) {
+  LineTable t{64};
+  LineInfo& li = t.at(4096);
+  li.spm_mapped = true;
+  li.spm_tile = 3;
+  li.spm_chunk_tag = 42;
+  li.spm_valid = true;
+  li.spm_value = 7;
+  // Unmap = clearing the flags; the record itself stays.
+  li.spm_valid = false;
+  li.spm_mapped = false;
+  const LineInfo& again = t.at(4096);
+  EXPECT_FALSE(again.spm_mapped);
+  EXPECT_FALSE(again.spm_valid);
+  EXPECT_EQ(again.spm_chunk_tag, 42u);  // stale tag is fine: gated by flags
+}
+
+TEST(LineTable, ClearDropsEverything) {
+  LineTable t{64};
+  t.at(128).dram = 9;
+  t.clear();
+  EXPECT_EQ(t.pages_allocated(), 0u);
+  EXPECT_EQ(t.peek(128), nullptr);
+  EXPECT_EQ(t.at(128).dram, 0u);
+}
+
+TEST(LineTable, HashedBackendMatchesPagedOnRandomOps) {
+  LineTable paged{64, LineStore::paged};
+  LineTable hashed{64, LineStore::hashed};
+  raa::Rng rng{7};
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t line = rng.below(1 << 16) * 64;
+    LineInfo& a = paged.at(line);
+    LineInfo& b = hashed.at(line);
+    EXPECT_EQ(a.dram, b.dram);
+    EXPECT_EQ(a.sharers, b.sharers);
+    const std::uint64_t v = rng();
+    a.dram = v;
+    b.dram = v;
+    a.sharers = v >> 32;
+    b.sharers = v >> 32;
+  }
+}
+
+TEST(LineTable, NonPowerOfTwoLineSize) {
+  LineTable t{96};
+  t.at(96 * 5).dram = 5;
+  t.at(96 * 6).dram = 6;
+  EXPECT_EQ(t.at(96 * 5).dram, 5u);
+  EXPECT_EQ(t.at(96 * 6).dram, 6u);
+}
+
+// --- flat-path vs reference-path equivalence ---------------------------
+
+/// FT-like mixed-class workload: strided SPM streams over per-core slices,
+/// guarded rmw scatter over the shared region, and random no-alias traffic
+/// in a cache-served region. Exercises every access class plus DMA
+/// map/unmap, guarded redirection, and the prefetcher.
+Workload mixed_workload(const SystemConfig& cfg, std::uint64_t seed) {
+  raa::Rng rng{seed};
+  Workload w;
+  w.name = "mixed";
+  AddressSpace as{cfg.dma_chunk_bytes};
+  const std::uint64_t part = 2 * cfg.dma_chunk_bytes;
+  const Region& shared =
+      as.add(w, "shared", cfg.tiles * part, RefClass::strided);
+  const Region& priv =
+      as.add(w, "private", cfg.tiles * 2048, RefClass::random_noalias);
+
+  for (unsigned c = 0; c < cfg.tiles; ++c) {
+    std::vector<Phase> phases;
+    const unsigned rounds = 2 + static_cast<unsigned>(rng.below(2));
+    for (unsigned k = 0; k < rounds; ++k) {
+      phases.push_back(Phase{
+          .streams = {Stream{.region = &shared, .store = (k % 2 == 1),
+                             .start = c * part, .stride = 8}},
+          .iterations = part / 8,
+          .gap_cycles = static_cast<std::uint32_t>(rng.below(6))});
+      phases.push_back(Phase{
+          .streams = {Stream{.region = &shared, .kind = StreamKind::random_rmw,
+                             .ref = RefClass::random_unknown,
+                             .elem_bytes = 8},
+                      Stream{.region = &priv, .kind = StreamKind::random,
+                             .ref = RefClass::random_noalias,
+                             .slice_bytes = 2048, .slice_base = c * 2048,
+                             .elem_bytes = 8}},
+          .iterations = 64 + rng.below(96),
+          .gap_cycles = static_cast<std::uint32_t>(rng.below(8))});
+    }
+    w.programs.push_back(std::make_unique<ScriptedProgram>(
+        std::move(phases), seed * 131 + c));
+  }
+  return w;
+}
+
+/// Field-by-field Metrics equality (the equivalence contract is exact:
+/// both paths execute the identical simulation, so even the FP sums match
+/// bit-for-bit).
+void expect_metrics_equal(const Metrics& a, const Metrics& b) {
+  EXPECT_DOUBLE_EQ(a.cycles, b.cycles);
+  EXPECT_DOUBLE_EQ(a.noc_flit_hops, b.noc_flit_hops);
+  EXPECT_DOUBLE_EQ(a.e_l1, b.e_l1);
+  EXPECT_DOUBLE_EQ(a.e_l2, b.e_l2);
+  EXPECT_DOUBLE_EQ(a.e_spm, b.e_spm);
+  EXPECT_DOUBLE_EQ(a.e_dram, b.e_dram);
+  EXPECT_DOUBLE_EQ(a.e_noc, b.e_noc);
+  EXPECT_DOUBLE_EQ(a.e_dir, b.e_dir);
+  EXPECT_DOUBLE_EQ(a.e_static, b.e_static);
+  EXPECT_EQ(a.accesses, b.accesses);
+  EXPECT_EQ(a.l1_hits, b.l1_hits);
+  EXPECT_EQ(a.l1_misses, b.l1_misses);
+  EXPECT_EQ(a.l2_hits, b.l2_hits);
+  EXPECT_EQ(a.l2_misses, b.l2_misses);
+  EXPECT_EQ(a.spm_hits, b.spm_hits);
+  EXPECT_EQ(a.dram_line_reads, b.dram_line_reads);
+  EXPECT_EQ(a.dram_line_writes, b.dram_line_writes);
+  EXPECT_EQ(a.invalidations, b.invalidations);
+  EXPECT_EQ(a.writebacks, b.writebacks);
+  EXPECT_EQ(a.prefetch_fills, b.prefetch_fills);
+  EXPECT_EQ(a.dma_transfers, b.dma_transfers);
+  EXPECT_EQ(a.guarded_lookups, b.guarded_lookups);
+  EXPECT_EQ(a.guarded_to_spm, b.guarded_to_spm);
+  EXPECT_EQ(a.remote_spm_accesses, b.remote_spm_accesses);
+}
+
+class StoreEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StoreEquivalence, FlatAndHashedPathsProduceIdenticalMetrics) {
+  const std::uint64_t seed = GetParam();
+  const SystemConfig cfg = small_cfg();
+  for (const auto mode :
+       {HierarchyMode::cache_only, HierarchyMode::hybrid}) {
+    auto wa = mixed_workload(cfg, seed);
+    auto wb = mixed_workload(cfg, seed);
+    System flat{cfg, mode, LineStore::paged};
+    System ref{cfg, mode, LineStore::hashed};
+    const Metrics ma = flat.run(wa);
+    const Metrics mb = ref.run(wb);
+    expect_metrics_equal(ma, mb);
+    EXPECT_GT(ma.accesses, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StoreEquivalence,
+                         ::testing::Values(11, 23, 47, 95, 191));
 
 TEST(System, DeterministicMetrics) {
   const SystemConfig cfg = small_cfg();

@@ -324,4 +324,59 @@ TEST(Compare, RejectsNonSchemaDocuments) {
                std::runtime_error);
 }
 
+// --------------------------------------------------------------------------
+// Informational (host wall-clock) metrics
+// --------------------------------------------------------------------------
+
+TEST(BenchReport, InformationalMetricSerializesFlag) {
+  raa::report::BenchReport r{"bench", "§1"};
+  r.record_info("wall_seconds", 1.25, "s");
+  r.record("speedup", 2.0, "x");
+  const auto j = r.to_json();
+  const auto& metrics = j.find("metrics")->as_array();
+  ASSERT_EQ(metrics.size(), 2u);
+  const auto* info = metrics[0].find("informational");
+  ASSERT_NE(info, nullptr);
+  EXPECT_TRUE(info->as_bool());
+  // Simulated metrics never carry the flag.
+  EXPECT_EQ(metrics[1].find("informational"), nullptr);
+}
+
+TEST(RunReport, WallSecondsSerialized) {
+  raa::report::RunReport run{1};
+  run.benchmark("b", "§1").record("m", 1.0);
+  EXPECT_EQ(run.to_json().find("wall_seconds"), nullptr);  // unset: omitted
+  run.set_wall_seconds(3.5);
+  const auto j = run.to_json();
+  ASSERT_NE(j.find("wall_seconds"), nullptr);
+  EXPECT_DOUBLE_EQ(j.find("wall_seconds")->as_number(), 3.5);
+}
+
+/// Baseline with one gated metric plus one informational metric whose
+/// value is wildly off in the results — the comparison must not gate it.
+TEST(Compare, InformationalMetricsAreExemptFromTheGate) {
+  const auto make = [](double gated, double wall) {
+    raa::report::RunReport run{1};
+    auto& b = run.benchmark("bench", "§1");
+    b.record("metric", gated);
+    b.record_info("wall_seconds", wall, "s");
+    return run.to_json();
+  };
+  // 10x host wall-clock drift, simulated metric unchanged: still ok.
+  const auto cmp = raa::report::compare(make(100.0, 1.0), make(100.0, 10.0));
+  EXPECT_TRUE(cmp.ok());
+  ASSERT_EQ(cmp.deltas.size(), 1u);  // only the gated metric was compared
+  EXPECT_EQ(cmp.deltas[0].metric, "metric");
+  EXPECT_EQ(cmp.informational_skipped, 1u);
+
+  // Even an informational metric *missing* from the results must not fail
+  // (a bench may legitimately skip throughput accounting on some hosts).
+  raa::report::RunReport no_wall{1};
+  no_wall.benchmark("bench", "§1").record("metric", 100.0);
+  const auto cmp2 =
+      raa::report::compare(make(100.0, 1.0), no_wall.to_json());
+  EXPECT_TRUE(cmp2.ok());
+  EXPECT_EQ(cmp2.informational_skipped, 1u);
+}
+
 }  // namespace
