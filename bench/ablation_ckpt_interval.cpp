@@ -1,7 +1,8 @@
 // Ablation — §4 checkpoint interval: overhead of the rollback scheme as a
 // function of the checkpoint period, against the (interval-free) FEIR.
 //
-// Flags: --grid=192 (plus the harness flags, see bench/harness.hpp)
+// Flags: --grid=192 --scale=1 (grid multiplier for larger scenarios; plus
+// the harness flags, see bench/harness.hpp)
 #include <cstdio>
 #include <iostream>
 
@@ -11,8 +12,12 @@
 
 RAA_BENCHMARK("ablation_ckpt_interval", "§4 checkpoint-interval ablation") {
   const raa::Cli& cli = ctx.cli;
-  const auto grid = static_cast<std::size_t>(cli.get_int("grid", 192));
+  const auto scale =
+      std::max<std::size_t>(1, static_cast<std::size_t>(cli.get_int("scale", 1)));
+  const auto grid =
+      static_cast<std::size_t>(cli.get_int("grid", 192)) * scale;
   ctx.report.set_param("grid", std::to_string(grid));
+  ctx.report.set_param("scale", std::to_string(scale));
   const auto a = raa::solver::laplacian_2d(grid, grid);
   const std::vector<double> b(a.n, 1.0);
 

@@ -3,7 +3,8 @@
 // Quantifies how much of the Sec. 3.1 gain comes from *ordering* alone
 // (before any DVFS is applied).
 //
-// Flags: none bench-specific (harness flags only, see bench/harness.hpp)
+// Flags: --scale=1 (graph-size multiplier for larger scenarios; plus the
+// harness flags, see bench/harness.hpp)
 #include <cstdio>
 #include <iostream>
 
@@ -14,21 +15,25 @@
 
 RAA_BENCHMARK("ablation_scheduler", "§3.1 scheduling-policy ablation") {
   using raa::tdg::Synthetic;
+  const auto scale = static_cast<unsigned>(
+      std::max<std::int64_t>(1, ctx.cli.get_int("scale", 1)));
+  ctx.report.set_param("scale", std::to_string(scale));
   const double c = 1.0e6;
   struct W {
     const char* name;
     raa::tdg::Graph g;
   };
   const std::vector<W> workloads = {
-      {"cholesky-10", Synthetic::cholesky(10, c)},
-      {"layered-random", Synthetic::layered_random(25, 20, 3, c / 4, c, 3)},
-      {"pipeline-48x6", Synthetic::pipeline(48, 6, c)},
+      {"cholesky-10", Synthetic::cholesky(10 * scale, c)},
+      {"layered-random",
+       Synthetic::layered_random(25 * scale, 20, 3, c / 4, c, 3)},
+      {"pipeline-48x6", Synthetic::pipeline(48 * scale, 6, c)},
       {"skewed-mix", [&] {
          // Long chain + many independent shorts: FIFO's worst case.
          raa::tdg::Graph g;
-         for (int i = 0; i < 120; ++i) g.add_node(c / 4);
+         for (unsigned i = 0; i < 120 * scale; ++i) g.add_node(c / 4);
          raa::tdg::NodeId prev = raa::tdg::kNoNode;
-         for (int i = 0; i < 20; ++i) {
+         for (unsigned i = 0; i < 20 * scale; ++i) {
            const auto v = g.add_node(c);
            if (prev != raa::tdg::kNoNode) g.add_edge(prev, v);
            prev = v;

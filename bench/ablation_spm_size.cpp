@@ -3,7 +3,7 @@
 // double-buffered) via the DMA chunk size, on the stream-heaviest kernel
 // (SP) and the gather-heavy one (CG).
 //
-// Flags: --tiles=64 --scale=1 (plus the harness flags, see
+// Flags: --tiles=64 --scale=1 --shards=1 (plus the harness flags, see
 // bench/harness.hpp)
 #include <cstdio>
 #include <iostream>
@@ -38,17 +38,13 @@ RAA_BENCHMARK("ablation_spm_size", "§2 SPM-size ablation") {
       const auto it =
           std::find_if(kernels.begin(), kernels.end(),
                        [&](const auto& k) { return k.name == name; });
-      raa::mem::Metrics base, hyb;
-      {
-        auto w = it->make(cfg, scale);
-        raa::mem::System sys{cfg, raa::mem::HierarchyMode::cache_only};
-        base = sys.run(w);
-      }
-      {
-        auto w = it->make(cfg, scale);
-        raa::mem::System sys{cfg, raa::mem::HierarchyMode::hybrid};
-        hyb = sys.run(w);
-      }
+      const auto cmp = raa::mem::run_comparison(
+          cfg, [&] { return it->make(cfg, scale); },
+          raa::mem::ComparisonOptions{
+              .shards = static_cast<unsigned>(cli.get_int("shards", 1)),
+              .pool = ctx.pool});
+      const raa::mem::Metrics& base = cmp.cache_only;
+      const raa::mem::Metrics& hyb = cmp.hybrid;
       ctx.add_accesses(static_cast<double>(base.accesses) +
                        static_cast<double>(hyb.accesses));
       const double time_x = base.cycles / hyb.cycles;

@@ -1,7 +1,8 @@
 // Ablation — §3.2's "both serial and parallel variants" of the VPI/VLU
 // hardware: VSR sort cycles with each variant across lane counts.
 //
-// Flags: --n=65536 (plus the harness flags, see bench/harness.hpp)
+// Flags: --n=65536 --scale=1 (element-count multiplier for larger
+// scenarios; plus the harness flags, see bench/harness.hpp)
 #include <cstdio>
 #include <iostream>
 
@@ -12,8 +13,11 @@
 
 RAA_BENCHMARK("ablation_vpi_variant", "§3.2 VPI/VLU-variant ablation") {
   const raa::Cli& cli = ctx.cli;
-  const auto n = static_cast<std::size_t>(cli.get_int("n", 65536));
+  const auto scale = std::max<std::size_t>(
+      1, static_cast<std::size_t>(cli.get_int("scale", 1)));
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 65536)) * scale;
   ctx.report.set_param("n", std::to_string(n));
+  ctx.report.set_param("scale", std::to_string(scale));
 
   const auto make_keys = [&](std::uint64_t seed) {
     raa::Rng rng{seed};

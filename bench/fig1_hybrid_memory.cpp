@@ -5,8 +5,8 @@
 // Paper reference values: average improvements of 14.7% (execution time),
 // 18.5% (energy), 31.2% (NoC traffic); EP shows no degradation.
 //
-// Flags: --tiles=64 --scale=1 --verbose (plus the harness flags, see
-// bench/harness.hpp). `fig1_paper_scale` additionally accepts
+// Flags: --tiles=64 --scale=1 --shards=1 --verbose (plus the harness
+// flags, see bench/harness.hpp). `fig1_paper_scale` additionally accepts
 // --paper-scale=N (default 8) for the paper-scale working sets.
 #include <cstdio>
 #include <iostream>
@@ -35,6 +35,12 @@ void run_fig1(raa::bench::Context& ctx, unsigned tiles, unsigned scale) {
   const bool verbose = cli.get_bool("verbose", false);
   ctx.report.set_param("tiles", std::to_string(cfg.tiles));
   ctx.report.set_param("scale", std::to_string(scale));
+  // Host-execution knobs: front-end shards per System::run, plus the
+  // harness pool (when --jobs > 1) running the cache_only/hybrid halves
+  // concurrently. Neither moves any reported metric (ShardEquivalence).
+  const raa::mem::ComparisonOptions copt{
+      .shards = static_cast<unsigned>(cli.get_int("shards", 1)),
+      .pool = ctx.pool};
 
   if (ctx.printing())
     std::printf(
@@ -45,17 +51,10 @@ void run_fig1(raa::bench::Context& ctx, unsigned tiles, unsigned scale) {
   raa::Table table{{"benchmark", "time x", "energy x", "noc x"}};
   std::vector<double> ts, es, ns;
   for (const auto& kernel : raa::kern::nas_kernels()) {
-    raa::mem::Metrics base, hybrid;
-    {
-      auto w = kernel.make(cfg, scale);
-      raa::mem::System sys{cfg, raa::mem::HierarchyMode::cache_only};
-      base = sys.run(w);
-    }
-    {
-      auto w = kernel.make(cfg, scale);
-      raa::mem::System sys{cfg, raa::mem::HierarchyMode::hybrid};
-      hybrid = sys.run(w);
-    }
+    const auto cmp = raa::mem::run_comparison(
+        cfg, [&] { return kernel.make(cfg, scale); }, copt);
+    const raa::mem::Metrics& base = cmp.cache_only;
+    const raa::mem::Metrics& hybrid = cmp.hybrid;
     ctx.add_accesses(static_cast<double>(base.accesses) +
                      static_cast<double>(hybrid.accesses));
     const double t = base.cycles / hybrid.cycles;

@@ -7,8 +7,8 @@
 //
 // Scaling is replayed on a simulated machine (this container has one CPU;
 // see the substitution table in docs/ARCHITECTURE.md).
-// Flags: --cores=16 --frames=30 (plus the harness flags, see
-// bench/harness.hpp)
+// Flags: --cores=16 --frames=30 --scale=1 (frame-count multiplier for
+// larger scenarios; plus the harness flags, see bench/harness.hpp)
 #include <cstdio>
 #include <iostream>
 
@@ -19,9 +19,13 @@
 RAA_BENCHMARK("fig5_task_scalability", "§5 Figure 5") {
   const raa::Cli& cli = ctx.cli;
   const auto cores = static_cast<unsigned>(cli.get_int("cores", 16));
-  const auto frames = static_cast<std::size_t>(cli.get_int("frames", 30));
+  const auto scale = std::max<std::size_t>(
+      1, static_cast<std::size_t>(cli.get_int("scale", 1)));
+  const auto frames =
+      static_cast<std::size_t>(cli.get_int("frames", 30)) * scale;
   ctx.report.set_param("cores", std::to_string(cores));
   ctx.report.set_param("frames", std::to_string(frames));
+  ctx.report.set_param("scale", std::to_string(scale));
 
   if (ctx.printing())
     std::printf(

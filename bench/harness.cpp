@@ -4,7 +4,56 @@
 #include <chrono>
 #include <cstdio>
 
+#include "exec/parallel.hpp"
+
 namespace raa::bench {
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+/// One scenario unit: a single repetition of a single benchmark, with a
+/// private report so units can run concurrently and merge in order.
+struct UnitResult {
+  report::BenchReport report;
+  double secs = 0.0;
+  double accesses = 0.0;
+  double tasks = 0.0;
+};
+
+UnitResult run_unit(const Spec& spec, const raa::Cli& cli, int rep, int reps,
+                    exec::Pool* pool, bool quiet) {
+  UnitResult unit{report::BenchReport{spec.name, spec.paper_ref}};
+  Context ctx{cli, unit.report, rep, reps};
+  ctx.pool = pool;
+  ctx.quiet = quiet;
+  const auto t0 = clock::now();
+  spec.fn(ctx);
+  unit.secs = std::chrono::duration<double>(clock::now() - t0).count();
+  // Host wall-clock capture: informational metrics, serialized for the
+  // perf trajectory but exempt from the baseline comparison gate.
+  unit.report.record_info("wall_seconds", unit.secs, "s");
+  if (unit.secs > 0.0 && ctx.sim_accesses > 0.0)
+    unit.report.record_info("accesses_per_second",
+                            ctx.sim_accesses / unit.secs, "1/s");
+  if (unit.secs > 0.0 && ctx.sim_tasks > 0.0)
+    unit.report.record_info("tasks_per_second", ctx.sim_tasks / unit.secs,
+                            "1/s");
+  unit.accesses = ctx.sim_accesses;
+  unit.tasks = ctx.sim_tasks;
+  return unit;
+}
+
+void print_bench_wall(const Spec& spec, double secs, double accesses,
+                      double tasks) {
+  if (secs <= 0.0) return;
+  std::printf("[wall] %s: %.2f s", spec.name.c_str(), secs);
+  if (accesses > 0.0) std::printf(", %.3g sim-accesses/s", accesses / secs);
+  if (tasks > 0.0) std::printf(", %.3g sim-tasks/s", tasks / secs);
+  std::printf("\n");
+}
+
+}  // namespace
 
 std::vector<Spec>& registry() {
   static std::vector<Spec> specs;
@@ -29,8 +78,8 @@ int harness_main(int argc, char** argv) {
   }
   if (cli.get_bool("help", false)) {
     std::printf(
-        "usage: %s [--reps=N] [--json=PATH] [--only=NAME] [--list] "
-        "[bench-specific flags]\n",
+        "usage: %s [--reps=N] [--jobs=N] [--json=PATH] [--only=NAME] "
+        "[--list] [bench-specific flags]\n",
         argc > 0 ? argv[0] : "bench");
     return 0;
   }
@@ -48,45 +97,70 @@ int harness_main(int argc, char** argv) {
 
   const int reps =
       static_cast<int>(std::max<std::int64_t>(1, cli.get_int("reps", 1)));
+  const int jobs =
+      static_cast<int>(std::max<std::int64_t>(1, cli.get_int("jobs", 1)));
   report::RunReport run{reps};
-  using clock = std::chrono::steady_clock;
   const auto run_start = clock::now();
-  for (const auto& spec : specs) {
-    if (specs.size() > 1)
-      std::printf("==== %s ====\n", spec.name.c_str());
-    report::BenchReport& bench_report =
-        run.benchmark(spec.name, spec.paper_ref);
-    double bench_secs = 0.0;
-    double bench_accesses = 0.0;
-    double bench_tasks = 0.0;
-    for (int rep = 0; rep < reps; ++rep) {
-      Context ctx{cli, bench_report, rep, reps};
-      const auto t0 = clock::now();
-      spec.fn(ctx);
-      const double secs = std::chrono::duration<double>(clock::now() - t0)
-                              .count();
-      // Host wall-clock capture: informational metrics, serialized for the
-      // perf trajectory but exempt from the baseline comparison gate.
-      bench_report.record_info("wall_seconds", secs, "s");
-      if (secs > 0.0 && ctx.sim_accesses > 0.0)
-        bench_report.record_info("accesses_per_second",
-                                 ctx.sim_accesses / secs, "1/s");
-      if (secs > 0.0 && ctx.sim_tasks > 0.0)
-        bench_report.record_info("tasks_per_second", ctx.sim_tasks / secs,
-                                 "1/s");
-      bench_secs += secs;
-      bench_accesses += ctx.sim_accesses;
-      bench_tasks += ctx.sim_tasks;
+
+  // Scenario units: every (benchmark, repetition) pair, spec-major. Unit
+  // reports merge into the run in exactly this order for any --jobs, so
+  // the serialized JSON structure — and every gated metric value — is
+  // independent of how units were scheduled.
+  struct Unit {
+    const Spec* spec;
+    int rep;
+  };
+  std::vector<Unit> units;
+  units.reserve(specs.size() * static_cast<std::size_t>(reps));
+  for (const auto& spec : specs)
+    for (int rep = 0; rep < reps; ++rep) units.push_back({&spec, rep});
+
+  // Per-spec wall totals, accumulated at merge time.
+  std::vector<double> spec_secs(specs.size(), 0.0);
+  std::vector<double> spec_accesses(specs.size(), 0.0);
+  std::vector<double> spec_tasks(specs.size(), 0.0);
+  const auto merge_unit = [&](std::size_t index, UnitResult&& unit) {
+    const Unit& u = units[index];
+    const std::size_t s = static_cast<std::size_t>(u.spec - specs.data());
+    run.benchmark(u.spec->name, u.spec->paper_ref).absorb(unit.report);
+    spec_secs[s] += unit.secs;
+    spec_accesses[s] += unit.accesses;
+    spec_tasks[s] += unit.tasks;
+    if (u.rep == reps - 1 && jobs > 1) {
+      // Parallel runs suppress the in-body tables; the per-benchmark wall
+      // summary still prints, in registration order, as specs complete.
+      if (specs.size() > 1) std::printf("==== %s ====\n", u.spec->name.c_str());
+      print_bench_wall(*u.spec, spec_secs[s], spec_accesses[s], spec_tasks[s]);
     }
-    if (bench_secs > 0.0) {
-      std::printf("[wall] %s: %.2f s", spec.name.c_str(), bench_secs);
-      if (bench_accesses > 0.0)
-        std::printf(", %.3g sim-accesses/s", bench_accesses / bench_secs);
-      if (bench_tasks > 0.0)
-        std::printf(", %.3g sim-tasks/s", bench_tasks / bench_secs);
-      std::printf("\n");
+  };
+
+  if (jobs == 1) {
+    for (std::size_t i = 0; i < units.size(); ++i) {
+      const Unit& u = units[i];
+      if (u.rep == 0 && specs.size() > 1)
+        std::printf("==== %s ====\n", u.spec->name.c_str());
+      merge_unit(i, run_unit(*u.spec, cli, u.rep, reps, nullptr, false));
+      if (u.rep == reps - 1) {
+        const std::size_t s =
+            static_cast<std::size_t>(u.spec - specs.data());
+        print_bench_wall(*u.spec, spec_secs[s], spec_accesses[s],
+                         spec_tasks[s]);
+        if (specs.size() > 1) std::printf("\n");
+      }
     }
-    if (specs.size() > 1) std::printf("\n");
+  } else {
+    // jobs - 1 workers (no more than there are units to run); the
+    // merging thread is the remaining lane (it help-runs units while
+    // waiting for the next in-order result).
+    exec::Pool pool{static_cast<unsigned>(std::min<std::size_t>(
+        static_cast<std::size_t>(jobs - 1), units.size()))};
+    exec::ordered_reduce<UnitResult>(
+        pool, units.size(),
+        [&](std::size_t i) {
+          const Unit& u = units[i];
+          return run_unit(*u.spec, cli, u.rep, reps, &pool, /*quiet=*/true);
+        },
+        merge_unit);
   }
   run.set_wall_seconds(
       std::chrono::duration<double>(clock::now() - run_start).count());

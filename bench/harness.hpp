@@ -11,6 +11,13 @@
 ///   --json=PATH    write the merged RunReport (BENCH_results.json schema)
 ///   --only=NAME    run a single registered benchmark (raa_bench_all)
 ///   --list         print registered benchmark names and exit
+///   --jobs=N       run independent scenario units — every (benchmark,
+///                  repetition) pair — across N concurrent lanes
+///                  (src/exec/ pool; default 1). Unit reports merge in
+///                  registration order regardless of completion order, so
+///                  every gated metric of BENCH_results.json is
+///                  bit-identical for any N (only the informational wall
+///                  metrics move). Table output is suppressed when N > 1.
 ///
 /// Single-figure binaries register exactly one benchmark; raa_bench_all
 /// links all bench sources and therefore registers all of them. Table
@@ -21,6 +28,7 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "exec/pool.hpp"
 #include "report/report.hpp"
 
 namespace raa::bench {
@@ -33,9 +41,14 @@ struct Context {
   int reps = 1;                   ///< total repetitions
   double sim_accesses = 0;        ///< see add_accesses()
   double sim_tasks = 0;           ///< see add_tasks()
+  /// The harness pool when --jobs > 1, else null. Bench bodies may run
+  /// *independent* sub-units on it (e.g. the cache_only/hybrid halves of
+  /// a run_comparison); results must not depend on completion order.
+  exec::Pool* pool = nullptr;
+  bool quiet = false;  ///< parallel run: suppress table printing
 
   /// True on the repetition whose tables should be printed.
-  bool printing() const noexcept { return rep == 0; }
+  bool printing() const noexcept { return rep == 0 && !quiet; }
 
   /// Tell the harness how many simulated memory accesses this repetition
   /// drove; it derives the informational `accesses_per_second` metric

@@ -1,0 +1,22 @@
+#include "exec/parallel.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace raa::exec {
+
+void parallel_for(Pool& pool, std::size_t begin, std::size_t end,
+                  std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
+  RAA_CHECK(begin <= end && grain > 0);
+  if (begin == end) return;
+  Pool::Group group;
+  for (std::size_t lo = begin; lo < end; lo += grain) {
+    const std::size_t hi = std::min(end, lo + grain);
+    pool.submit(group, [&body, lo, hi] { body(lo, hi); });
+  }
+  pool.wait(group);
+}
+
+}  // namespace raa::exec

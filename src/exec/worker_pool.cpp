@@ -1,0 +1,28 @@
+#include "exec/worker_pool.hpp"
+
+#include "common/check.hpp"
+
+namespace raa::exec {
+
+void WorkerPool::start(unsigned count, Loop loop) {
+  RAA_CHECK_MSG(threads_.empty(),
+                "WorkerPool::start on a pool that is already running");
+  RAA_CHECK(loop != nullptr || count == 0);
+  threads_.reserve(count);
+  for (unsigned i = 0; i < count; ++i)
+    threads_.emplace_back(
+        [loop, i](std::stop_token stop) { loop(stop, i); });
+}
+
+void WorkerPool::request_stop() {
+  for (auto& t : threads_) t.request_stop();
+}
+
+void WorkerPool::join() {
+  request_stop();
+  for (auto& t : threads_)
+    if (t.joinable()) t.join();
+  threads_.clear();
+}
+
+}  // namespace raa::exec

@@ -1,0 +1,49 @@
+#pragma once
+/// \file worker_pool.hpp
+/// Thread-lifecycle substrate shared by every layer that owns worker
+/// threads (the tasking runtime's workers, exec::Pool's executors). Owns a
+/// set of std::jthread running a caller-supplied loop; the loop observes
+/// the stop token. Extracted from the runtime so thread spawn/stop/join
+/// policy lives in one place instead of being re-rolled per layer.
+
+#include <functional>
+#include <stop_token>
+#include <thread>
+#include <vector>
+
+namespace raa::exec {
+
+/// Owns `count` threads, each running `loop(stop_token, index)`. The loop
+/// is expected to return promptly once the token signals stop (after being
+/// woken by whatever condition variable it sleeps on — waking sleepers is
+/// the caller's job, WorkerPool only requests the stop).
+class WorkerPool {
+ public:
+  using Loop = std::function<void(std::stop_token, unsigned)>;
+
+  WorkerPool() = default;
+  /// request_stop() + join via jthread RAII. Callers whose loops sleep on
+  /// a condition variable must stop-and-notify *before* destruction.
+  ~WorkerPool() = default;
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Spawn `count` threads. Valid on a fresh pool or after join().
+  void start(unsigned count, Loop loop);
+
+  /// Ask every thread to stop; returns immediately.
+  void request_stop();
+
+  /// Join all threads; the pool can then be start()ed again.
+  void join();
+
+  unsigned size() const noexcept {
+    return static_cast<unsigned>(threads_.size());
+  }
+
+ private:
+  std::vector<std::jthread> threads_;
+};
+
+}  // namespace raa::exec

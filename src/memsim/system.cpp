@@ -1,8 +1,14 @@
 #include "memsim/system.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <limits>
+#include <mutex>
+#include <optional>
+
+#include "exec/parallel.hpp"
+#include "exec/pool.hpp"
 
 namespace raa::mem {
 
@@ -669,7 +675,7 @@ void System::flush_all_software_caches() {
   }
 }
 
-Metrics System::run(Workload& workload) {
+void System::begin_run(Workload& workload) {
   RAA_CHECK_MSG(workload.programs.size() == cfg_.tiles,
                 "workload must provide one program per tile");
   workload_ = &workload;
@@ -679,6 +685,62 @@ Metrics System::run(Workload& workload) {
   streams_.assign(cfg_.tiles * std::max<std::size_t>(region_count_, 1), {});
   // Flatten the region deque: the per-access region checks index it hard.
   run_regions_.assign(workload.regions.begin(), workload.regions.end());
+}
+
+Metrics System::finish_run() {
+  flush_all_software_caches();
+  metrics_.cycles = *std::max_element(core_clock_.begin(), core_clock_.end());
+  metrics_.e_static = metrics_.cycles * static_cast<double>(cfg_.tiles) *
+                      cfg_.e_static_per_tile_cycle;
+  workload_ = nullptr;
+  return metrics_;
+}
+
+void System::step(unsigned core, const Access& acc,
+                  std::size_t& last_region) {
+  core_clock_[core] += acc.gap_cycles;
+
+  unsigned lat = 0;
+  const std::uint64_t line = line_of(acc.addr);
+  if (mode_ == HierarchyMode::hybrid) {
+    switch (acc.ref) {
+      case RefClass::strided: {
+        // Resolve the region (streams revisit the same region, so the
+        // memoised index almost always hits).
+        std::size_t r = last_region;
+        if (r >= region_count_ || !run_regions_[r].contains(acc.addr)) {
+          r = 0;
+          while (r < region_count_ && !run_regions_[r].contains(acc.addr))
+            ++r;
+          RAA_CHECK_MSG(r < region_count_,
+                        "strided access outside any declared region");
+          last_region = r;
+        }
+        lat = spm_access(core, r, run_regions_[r], acc.addr, line,
+                         acc.is_store);
+        break;
+      }
+      case RefClass::random_noalias: {
+        // Compiler contract: no-alias references never touch SPM-mapped
+        // data. A violation would be a kernel classification bug.
+        LineInfo& li = lines_.at(line);
+        RAA_CHECK(!li.spm_mapped);
+        lat = cache_access(core, line, li, acc.is_store);
+        break;
+      }
+      case RefClass::random_unknown:
+        lat = guarded_access(core, line, acc.is_store);
+        break;
+    }
+  } else {
+    lat = cache_access(core, line, lines_.at(line), acc.is_store);
+  }
+
+  core_clock_[core] += lat;
+}
+
+Metrics System::run_serial(Workload& workload) {
+  begin_run(workload);
 
   // Per-core batched pull state: one virtual fill() per kBatch accesses.
   constexpr unsigned kBatch = 64;
@@ -707,56 +769,205 @@ Metrics System::run(Workload& workload) {
       }
       metrics_.accesses += cs.count;  // counted per batch, not per access
     }
-    const Access& acc = cs.buf[cs.head++];
-    core_clock_[core] += acc.gap_cycles;
-
-    unsigned lat = 0;
-    const std::uint64_t line = line_of(acc.addr);
-    if (mode_ == HierarchyMode::hybrid) {
-      switch (acc.ref) {
-        case RefClass::strided: {
-          // Resolve the region (streams revisit the same region, so the
-          // memoised index almost always hits).
-          std::size_t r = cs.last_region;
-          if (r >= region_count_ || !run_regions_[r].contains(acc.addr)) {
-            r = 0;
-            while (r < region_count_ && !run_regions_[r].contains(acc.addr))
-              ++r;
-            RAA_CHECK_MSG(r < region_count_,
-                          "strided access outside any declared region");
-            cs.last_region = r;
-          }
-          lat = spm_access(core, r, run_regions_[r], acc.addr, line,
-                           acc.is_store);
-          break;
-        }
-        case RefClass::random_noalias: {
-          // Compiler contract: no-alias references never touch SPM-mapped
-          // data. A violation would be a kernel classification bug.
-          LineInfo& li = lines_.at(line);
-          RAA_CHECK(!li.spm_mapped);
-          lat = cache_access(core, line, li, acc.is_store);
-          break;
-        }
-        case RefClass::random_unknown:
-          lat = guarded_access(core, line, acc.is_store);
-          break;
-      }
-    } else {
-      lat = cache_access(core, line, lines_.at(line), acc.is_store);
-    }
-
-    core_clock_[core] += lat;
+    step(core, cs.buf[cs.head++], cs.last_region);
     order.sift_top();
   }
 
-  flush_all_software_caches();
+  return finish_run();
+}
 
-  metrics_.cycles = *std::max_element(core_clock_.begin(), core_clock_.end());
-  metrics_.e_static = metrics_.cycles * static_cast<double>(cfg_.tiles) *
-                      cfg_.e_static_per_tile_cycle;
-  workload_ = nullptr;
-  return metrics_;
+namespace {
+
+/// Accesses per producer fill in the sharded engine. Larger than the
+/// serial engine's pull batch: each generation crosses a mutex and the
+/// pool queue once. Batch size never changes the stream content (fill()
+/// only chunks the per-core sequence), so it is invisible in the Metrics.
+constexpr unsigned kShardBatch = 256;
+
+/// One core's double-buffered access channel between its producer lane
+/// (fills generation g into slot g % 2) and the commit loop (consumes
+/// generations in order). All cross-thread fields are guarded by `m`; the
+/// buffer itself is handed off through the ready flag: a slot belongs to
+/// exactly one side at a time.
+struct ShardChannel {
+  std::mutex m;
+  std::array<Access, kShardBatch> buf[2];
+  unsigned count[2] = {0, 0};
+  bool ready[2] = {false, false};
+  unsigned pending_gen = 0;  ///< next generation the producer will fill
+  bool paused = true;        ///< no producer task queued or running
+  bool ended = false;        ///< fill() returned 0 (terminal) or cancelled
+
+  // Commit-loop-only fields (single thread, unguarded).
+  unsigned head = 0;       ///< consume index into the adopted slot
+  unsigned adopted = 0;    ///< count of the adopted slot
+  unsigned gen = 0;        ///< generation currently consumed
+  bool started = false;    ///< first generation adopted yet?
+  std::size_t last_region = 0;
+};
+
+}  // namespace
+
+Metrics System::run_sharded(Workload& workload, unsigned shards,
+                            exec::Pool* pool) {
+  begin_run(workload);
+
+  // A private pool contributes shards - 1 producer threads; the commit
+  // thread is the remaining lane (it helps run fills while it waits).
+  std::optional<exec::Pool> own_pool;
+  if (pool == nullptr) {
+    own_pool.emplace(shards - 1);
+    pool = &*own_pool;
+  }
+
+  std::vector<ShardChannel> channels(cfg_.tiles);
+  exec::Pool::Group group;
+  std::atomic<bool> cancel{false};
+
+  // Producer lane for one generation of one core: fill the slot, publish
+  // it, and chain the next generation if its slot is already free. Each
+  // core has at most one producer task in flight, so its CoreProgram is
+  // only ever touched by one thread at a time.
+  std::function<void(unsigned)> produce = [&](unsigned core) {
+    ShardChannel& ch = channels[core];
+    unsigned gen;
+    {
+      const std::scoped_lock lock{ch.m};
+      gen = ch.pending_gen;
+    }
+    const unsigned slot = gen & 1;
+    const unsigned count =
+        cancel.load(std::memory_order_relaxed)
+            ? 0
+            : static_cast<unsigned>(workload.programs[core]->fill(
+                  {ch.buf[slot].data(), kShardBatch}));
+    bool chain = false;
+    {
+      const std::scoped_lock lock{ch.m};
+      ch.count[slot] = count;
+      ch.ready[slot] = true;
+      ch.pending_gen = gen + 1;
+      if (count == 0) {
+        ch.ended = true;  // fill() stays 0 from here on; stop producing
+        ch.paused = true;
+      } else if (!ch.ready[(gen + 1) & 1]) {
+        chain = true;  // next slot is free: keep this lane hot
+      } else {
+        ch.paused = true;  // both slots full; commit loop resumes us
+      }
+    }
+    if (chain) pool->submit(group, [&produce, core] { produce(core); });
+  };
+
+  for (unsigned core = 0; core < cfg_.tiles; ++core) {
+    channels[core].paused = false;
+    pool->submit(group, [&produce, core] { produce(core); });
+  }
+
+  // The commit loop: identical interleave, adoption and retirement order
+  // as run_serial — it merely swaps the inline fill() for adopting the
+  // producer-filled slot of the next generation.
+  auto commit = [&] {
+    CoreHeap order{core_clock_, cfg_.tiles};
+    while (!order.empty()) {
+      const unsigned core = order.top();
+      ShardChannel& ch = channels[core];
+      if (!ch.started || ch.head == ch.adopted) {
+        // Release the consumed slot and wake its paused producer.
+        if (ch.started) {
+          bool resume = false;
+          {
+            const std::scoped_lock lock{ch.m};
+            ch.ready[ch.gen & 1] = false;
+            if (ch.paused && !ch.ended) {
+              ch.paused = false;
+              resume = true;
+            }
+          }
+          if (resume) pool->submit(group, [&produce, core] { produce(core); });
+          ++ch.gen;
+        }
+        // Adopt the next generation (helping the pool while it is not
+        // ready; a failed producer also ends the wait — see below).
+        const unsigned slot = ch.gen & 1;
+        pool->help_while(
+            [&] {
+              if (pool->failed(group)) return false;
+              const std::scoped_lock lock{ch.m};
+              return !ch.ready[slot];
+            },
+            &group);
+        {
+          const std::scoped_lock lock{ch.m};
+          if (!ch.ready[slot]) {
+            RAA_CHECK_MSG(false, "shard producer failed");  // rethrown below
+          }
+          ch.adopted = ch.count[slot];
+        }
+        ch.started = true;
+        ch.head = 0;
+        if (ch.adopted == 0) {  // core finished
+          order.pop_top();
+          continue;
+        }
+        metrics_.accesses += ch.adopted;
+      }
+      step(core, ch.buf[ch.gen & 1][ch.head++], ch.last_region);
+      order.sift_top();
+    }
+  };
+
+  try {
+    commit();
+  } catch (...) {
+    // Unwind without dangling references: stop the producer chains and
+    // drain the pool. A producer failure surfaces with priority (its
+    // exception index precedes the commit loop's reaction to it).
+    cancel.store(true, std::memory_order_relaxed);
+    if (std::exception_ptr err = pool->wait_collect(group))
+      std::rethrow_exception(err);
+    throw;
+  }
+  pool->wait(group);
+
+  return finish_run();
+}
+
+Metrics System::run(Workload& workload) { return run_serial(workload); }
+
+Metrics System::run(Workload& workload, const RunOptions& options) {
+  const unsigned shards =
+      std::clamp(options.shards, 1u, std::max(1u, cfg_.tiles));
+  if (shards <= 1 && options.pool == nullptr) return run_serial(workload);
+  return run_sharded(workload, shards, options.pool);
+}
+
+ComparisonResult run_comparison(const SystemConfig& config,
+                                const std::function<Workload()>& make_workload,
+                                const ComparisonOptions& options) {
+  const auto half = [&](HierarchyMode mode) {
+    Workload w = make_workload();
+    System sys{config, mode, options.store};
+    return sys.run(w, RunOptions{options.shards, options.pool});
+  };
+  ComparisonResult result;
+  if (options.pool == nullptr) {
+    result.cache_only = half(HierarchyMode::cache_only);
+    result.hybrid = half(HierarchyMode::hybrid);
+    return result;
+  }
+  // Concurrent halves, assigned by submission index: index 0 is always
+  // cache_only no matter which half finishes first.
+  exec::ordered_reduce<Metrics>(
+      *options.pool, 2,
+      [&](std::size_t i) {
+        return half(i == 0 ? HierarchyMode::cache_only
+                           : HierarchyMode::hybrid);
+      },
+      [&](std::size_t i, Metrics&& m) {
+        (i == 0 ? result.cache_only : result.hybrid) = std::move(m);
+      });
+  return result;
 }
 
 }  // namespace raa::mem

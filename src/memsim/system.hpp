@@ -30,9 +30,17 @@
 /// flat index-min heap sifted in place; access streams are pulled in
 /// batches through CoreProgram::fill. The `LineStore::hashed` backend
 /// preserves the old per-access-hash shape for equivalence testing.
+///
+/// Host parallelism: run(workload, RunOptions{.shards = N}) decouples the
+/// access-stream front end onto N concurrent producer lanes (src/exec/)
+/// while the protocol commit stays in serial interleave order, keeping
+/// the Metrics field-identical to the serial engine for every N (pinned
+/// by the ShardEquivalence suite; design note in docs/ARCHITECTURE.md).
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -43,7 +51,30 @@
 #include "memsim/noc.hpp"
 #include "memsim/spm.hpp"
 
+namespace raa::exec {
+class Pool;
+}  // namespace raa::exec
+
 namespace raa::mem {
+
+/// Execution options for System::run. The simulated outcome is a pure
+/// function of the workload: *any* shards/pool combination produces
+/// Metrics field-identical to the serial interleave (the ShardEquivalence
+/// suite pins this). Sharding decouples the access-stream front end —
+/// CoreProgram::fill batch generation into per-core double-buffered
+/// channels — onto concurrent producer lanes, while the protocol commit
+/// loop consumes the channels in the exact serial interleave order, so
+/// every shared-state transition (L2 banks, directory, line values,
+/// version/tag counters, metrics) happens in the identical sequence.
+struct RunOptions {
+  /// Concurrent front-end lanes. 1 = the fully serial engine.
+  unsigned shards = 1;
+  /// Pool to run the shard producers on. Null with shards > 1 spawns a
+  /// private pool of shards - 1 workers (the committing thread is the
+  /// remaining lane). An external pool may have any worker count — even
+  /// zero: fills then run inline inside the commit loop's helping wait.
+  exec::Pool* pool = nullptr;
+};
 
 /// See file comment.
 class System {
@@ -54,6 +85,9 @@ class System {
   /// Run a workload to completion and return the metrics. The workload's
   /// programs are consumed. Requires programs.size() == config.tiles.
   Metrics run(Workload& workload);
+
+  /// As above, with sharded front-end execution (see RunOptions).
+  Metrics run(Workload& workload, const RunOptions& options);
 
   HierarchyMode mode() const noexcept { return mode_; }
   const SystemConfig& config() const noexcept { return cfg_; }
@@ -128,7 +162,15 @@ class System {
 
   // --- chunk-tag dirty bits (guarded remote stores) ---
   void mark_dirty_tag(std::uint32_t tag) {
-    if (tag >= dirty_tags_.size()) dirty_tags_.resize(tag + 1, 0);
+    if (tag >= dirty_tags_.size()) {
+      // Geometric growth, seeded from the tag counter: tags are handed
+      // out sequentially, so one-element resize(tag + 1) steps would copy
+      // the bitmap quadratically over a run.
+      std::size_t n = std::max<std::size_t>(2 * dirty_tags_.size(), 64);
+      n = std::max(n, std::size_t{tag} + 1);
+      n = std::max(n, std::size_t{chunk_tag_counter_} + 1);
+      dirty_tags_.resize(n, 0);
+    }
     dirty_tags_[tag] = 1;
   }
   bool dirty_tag(std::uint32_t tag) const {
@@ -136,6 +178,17 @@ class System {
   }
 
   void flush_all_software_caches();
+
+  // --- run engine (system.cpp) ---
+  /// Reset per-run state and flatten the workload's region table.
+  void begin_run(Workload& workload);
+  /// Flush software caches, finalise cycles/static energy, detach.
+  Metrics finish_run();
+  /// Simulate one access of `core` end to end (clock advance + protocol).
+  /// `last_region` memoises the core's region lookup across accesses.
+  void step(unsigned core, const Access& acc, std::size_t& last_region);
+  Metrics run_serial(Workload& workload);
+  Metrics run_sharded(Workload& workload, unsigned shards, exec::Pool* pool);
 
   SystemConfig cfg_;
   HierarchyMode mode_;
@@ -193,5 +246,26 @@ struct ComparisonResult {
     return cache_only.noc_flit_hops / hybrid.noc_flit_hops;
   }
 };
+
+/// Options for run_comparison.
+struct ComparisonOptions {
+  /// Forwarded to each half's System::run (front-end sharding).
+  unsigned shards = 1;
+  /// When set, the two halves — independent System instances over
+  /// independently built workloads — run concurrently on this pool, with
+  /// results assigned by submission index (cache_only first), never by
+  /// completion order. `make_workload` must then be safe to call from two
+  /// threads at once. Null runs the halves back to back.
+  exec::Pool* pool = nullptr;
+  LineStore store = LineStore::paged;
+};
+
+/// Build and run `make_workload()` under both hierarchy configurations.
+/// Each half constructs its own System, so the halves are independent by
+/// construction and the metrics are identical for every options
+/// combination.
+ComparisonResult run_comparison(const SystemConfig& config,
+                                const std::function<Workload()>& make_workload,
+                                const ComparisonOptions& options = {});
 
 }  // namespace raa::mem

@@ -104,6 +104,15 @@ void BenchReport::record_info(const std::string& name, double value,
   metric(name, unit, std::nullopt, /*informational=*/true).add_sample(value);
 }
 
+void BenchReport::absorb(const BenchReport& other) {
+  for (const auto& [k, v] : other.params_) set_param(k, v);
+  for (const Metric& m : other.metrics_) {
+    Metric& mine =
+        metric(m.name(), m.unit(), m.paper_value(), m.informational());
+    for (const double s : m.samples()) mine.add_sample(s);
+  }
+}
+
 json::Value BenchReport::to_json() const {
   json::Value v{json::Object{}};
   v.set("name", name_);

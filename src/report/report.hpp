@@ -97,6 +97,13 @@ class BenchReport {
   void record_info(const std::string& name, double value,
                    const std::string& unit = "");
 
+  /// Merge another report of the same benchmark into this one: params
+  /// overwrite, metric samples append in `other`'s insertion order. The
+  /// parallel bench harness records each (benchmark, repetition) unit
+  /// into a private BenchReport and absorbs them in registration order,
+  /// which keeps the merged JSON identical to a serial run's.
+  void absorb(const BenchReport& other);
+
   const std::vector<Metric>& metrics() const noexcept { return metrics_; }
 
   json::Value to_json() const;

@@ -18,17 +18,36 @@ Runtime::Runtime(RuntimeOptions options)
     : options_(options),
       scheduler_(options.policy, options.num_workers, options.seed),
       epoch_(std::chrono::steady_clock::now()) {
-  workers_.reserve(options_.num_workers);
-  for (unsigned w = 0; w < options_.num_workers; ++w)
-    workers_.emplace_back(
-        [this, w](std::stop_token stop) { worker_loop(stop, w); });
+  try {
+    workers_.start(options_.num_workers,
+                   [this](std::stop_token stop, unsigned w) {
+                     worker_loop(stop, w);
+                   });
+  } catch (...) {
+    // Thread exhaustion mid-spawn: the workers that did start sleep on
+    // work_cv_ and must be woken to observe the stop, or the jthread
+    // destructors would join forever.
+    {
+      const std::scoped_lock lock{graph_mutex_};
+      workers_.request_stop();
+    }
+    work_cv_.notify_all();
+    workers_.join();
+    throw;
+  }
 }
 
 Runtime::~Runtime() {
   taskwait();
-  for (auto& w : workers_) w.request_stop();
-  work_cv_.notify_all();
-  // jthread joins on destruction (RAII, CP.25).
+  {
+    // Under the mutex: a worker is either between its predicate check and
+    // the wait (still holds the mutex, so this blocks until it sleeps) or
+    // already waiting — either way the notify below cannot be lost.
+    const std::scoped_lock lock{graph_mutex_};
+    workers_.request_stop();
+  }
+  work_cv_.notify_all();  // wake sleepers so they observe the stop
+  workers_.join();
 }
 
 std::uint64_t Runtime::now_ns() const {

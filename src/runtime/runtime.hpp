@@ -22,9 +22,9 @@
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <thread>
 #include <vector>
 
+#include "exec/worker_pool.hpp"
 #include "runtime/dependences.hpp"
 #include "runtime/graph.hpp"
 #include "runtime/scheduler.hpp"
@@ -119,7 +119,7 @@ class Runtime {
   std::uint64_t ready_count_ = 0;  ///< tasks inside the scheduler
 
   std::chrono::steady_clock::time_point epoch_;
-  std::vector<std::jthread> workers_;
+  exec::WorkerPool workers_;  ///< thread lifecycle lives in src/exec/
 };
 
 /// Parallel-for convenience built on the runtime: splits [begin, end) into

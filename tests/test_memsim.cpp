@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "exec/pool.hpp"
 #include "kernels/program.hpp"
 #include "memsim/linetable.hpp"
 #include "memsim/noc.hpp"
@@ -589,6 +590,105 @@ TEST_P(StoreEquivalence, FlatAndHashedPathsProduceIdenticalMetrics) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StoreEquivalence,
                          ::testing::Values(11, 23, 47, 95, 191));
+
+// --- sharded vs serial equivalence -------------------------------------
+//
+// The sharded engine (System::run with RunOptions) decouples access-stream
+// generation onto concurrent producer lanes but commits every protocol
+// transition in the serial interleave order; these tests pin the contract
+// that its Metrics are *field-identical* to the serial engine for any
+// shard count — which proves determinism even on hosts where no parallel
+// speedup is observable.
+
+class ShardEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ShardEquivalence, ShardedRunMatchesSerialInterleave) {
+  const std::uint64_t seed = GetParam();
+  const SystemConfig cfg = small_cfg();
+  for (const auto mode :
+       {HierarchyMode::cache_only, HierarchyMode::hybrid}) {
+    auto ws = mixed_workload(cfg, seed);
+    System serial{cfg, mode};
+    const Metrics reference = serial.run(ws);
+    ASSERT_GT(reference.accesses, 0u);
+    for (const unsigned shards : {1u, 2u, 4u, 8u}) {
+      auto w = mixed_workload(cfg, seed);
+      System sys{cfg, mode};
+      const Metrics m = sys.run(w, raa::mem::RunOptions{.shards = shards});
+      expect_metrics_equal(reference, m);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardEquivalence,
+                         ::testing::Values(13, 29, 61, 127, 251));
+
+TEST(ShardedRun, ExternalZeroWorkerPoolRunsInline) {
+  // An external pool with no workers degrades to inline fills inside the
+  // commit loop's helping wait — the fully deterministic fallback.
+  const SystemConfig cfg = small_cfg();
+  auto ws = mixed_workload(cfg, 7);
+  auto wp = mixed_workload(cfg, 7);
+  System serial{cfg, HierarchyMode::hybrid};
+  System sharded{cfg, HierarchyMode::hybrid};
+  raa::exec::Pool pool{0};
+  const Metrics a = serial.run(ws);
+  const Metrics b =
+      sharded.run(wp, raa::mem::RunOptions{.shards = 4, .pool = &pool});
+  expect_metrics_equal(a, b);
+}
+
+TEST(ShardedRun, SystemAndPoolReuseAcrossRuns) {
+  // Back-to-back runs on one System carry cache/DRAM state forward; the
+  // sharded engine must match the serial engine's carried state exactly.
+  const SystemConfig cfg = small_cfg();
+  System serial{cfg, HierarchyMode::hybrid};
+  System sharded{cfg, HierarchyMode::hybrid};
+  raa::exec::Pool pool{2};
+  for (const std::uint64_t seed : {3u, 5u, 9u}) {
+    auto ws = mixed_workload(cfg, seed);
+    auto wp = mixed_workload(cfg, seed);
+    const Metrics a = serial.run(ws);
+    const Metrics b =
+        sharded.run(wp, raa::mem::RunOptions{.shards = 4, .pool = &pool});
+    expect_metrics_equal(a, b);
+  }
+}
+
+TEST(ShardedRun, ComparisonHalvesIndependentOfPool) {
+  const SystemConfig cfg = small_cfg();
+  const auto make = [&] { return mixed_workload(cfg, 17); };
+  const auto serial = raa::mem::run_comparison(cfg, make);
+  raa::exec::Pool pool{2};
+  const auto parallel = raa::mem::run_comparison(
+      cfg, make, raa::mem::ComparisonOptions{.shards = 2, .pool = &pool});
+  expect_metrics_equal(serial.cache_only, parallel.cache_only);
+  expect_metrics_equal(serial.hybrid, parallel.hybrid);
+}
+
+TEST(ShardedRun, PropagatesProtocolViolations) {
+  // A protocol self-check failure inside the commit loop must unwind
+  // cleanly through the producer machinery (drained, not deadlocked).
+  const SystemConfig cfg = small_cfg();
+  Workload w;
+  w.name = "conflict";
+  // Two cores write the same strided chunk -> SPM map conflict check.
+  AddressSpace as{cfg.dma_chunk_bytes};
+  const Region& shared =
+      as.add(w, "shared", cfg.dma_chunk_bytes, RefClass::strided);
+  for (unsigned c = 0; c < cfg.tiles; ++c) {
+    std::vector<Phase> phases;
+    phases.push_back(Phase{
+        .streams = {Stream{.region = &shared, .store = true, .start = 0,
+                           .stride = 8}},
+        .iterations = 16});
+    w.programs.push_back(
+        std::make_unique<ScriptedProgram>(std::move(phases), 1));
+  }
+  System sys{cfg, HierarchyMode::hybrid};
+  EXPECT_THROW(sys.run(w, raa::mem::RunOptions{.shards = 4}),
+               std::logic_error);
+}
 
 TEST(System, DeterministicMetrics) {
   const SystemConfig cfg = small_cfg();

@@ -156,6 +156,44 @@ TEST(BenchReport, AggregatesSamplesAcrossReps) {
   EXPECT_NEAR(s.stddev, std::sqrt(2.0 / 3.0), 1e-12);
 }
 
+TEST(BenchReport, AbsorbAppendsSamplesInInsertionOrder) {
+  // The parallel bench harness records each repetition into a private
+  // report and absorbs them in registration order: the merged report must
+  // be indistinguishable from serially recording into one report.
+  raa::report::BenchReport serial{"fig_test", "§0"};
+  serial.set_param("tiles", "64");
+  serial.record("time_x", 1.0, "x", 1.147);
+  serial.record("noc_x", 3.0, "x");
+  serial.record("time_x", 2.0);
+  serial.record("noc_x", 4.0);
+
+  raa::report::BenchReport rep0{"fig_test", "§0"};
+  rep0.set_param("tiles", "64");
+  rep0.record("time_x", 1.0, "x", 1.147);
+  rep0.record("noc_x", 3.0, "x");
+  raa::report::BenchReport rep1{"fig_test", "§0"};
+  rep1.set_param("tiles", "64");
+  rep1.record("time_x", 2.0, "x", 1.147);
+  rep1.record("noc_x", 4.0, "x");
+  raa::report::BenchReport merged{"fig_test", "§0"};
+  merged.absorb(rep0);
+  merged.absorb(rep1);
+
+  EXPECT_EQ(merged.to_json().dump(2), serial.to_json().dump(2));
+}
+
+TEST(BenchReport, AbsorbKeepsInformationalFlagAndUnitFromFirstSeen) {
+  raa::report::BenchReport a{"b", "§0"};
+  a.record_info("wall_seconds", 0.5, "s");
+  raa::report::BenchReport b{"b", "§0"};
+  b.record_info("wall_seconds", 0.7, "s");
+  a.absorb(b);
+  ASSERT_EQ(a.metrics().size(), 1u);
+  EXPECT_TRUE(a.metrics().front().informational());
+  EXPECT_EQ(a.metrics().front().unit(), "s");
+  EXPECT_EQ(a.metrics().front().samples().size(), 2u);
+}
+
 TEST(BenchReport, MetricJsonShape) {
   raa::report::BenchReport r{"fig_test", "§0"};
   r.record("m", 1.0, "ns");
