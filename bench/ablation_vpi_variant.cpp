@@ -25,14 +25,15 @@ RAA_BENCHMARK("ablation_vpi_variant", "§3.2 VPI/VLU-variant ablation") {
     for (auto& x : v) x = rng.below(1ull << 32);
     return v;
   };
+  const std::uint64_t seed = ctx.seed_or(1);
 
   if (ctx.printing())
     std::printf(
         "Ablation: serial vs parallel VPI/VLU hardware (VSR, MVL=64)\n\n");
   raa::Table t{{"lanes", "serial CPT", "parallel CPT", "parallel gain"}};
   for (const unsigned lanes : {1u, 2u, 4u, 8u}) {
-    auto d1 = make_keys(1);
-    auto d2 = make_keys(1);
+    auto d1 = make_keys(seed);
+    auto d2 = make_keys(seed);
     const auto ser = raa::sort::run_vector_sort(
         raa::sort::Algorithm::vsr,
         raa::vec::VpuConfig{.mvl = 64, .lanes = lanes, .parallel_vpi = false},

@@ -30,9 +30,11 @@ RAA_BENCHMARK("fig3_vsr_sort", "§3.2 Figure 3") {
   const raa::Cli& cli = ctx.cli;
   const auto n = static_cast<std::size_t>(cli.get_int("n", 65536));
   ctx.report.set_param("n", std::to_string(n));
+  // Every key array below derives from this seed (--seed overrides).
+  const std::uint64_t seed = ctx.seed_or(1);
 
   raa::vec::ScalarCore scalar_core;
-  auto scalar_data = make_keys(n, 1);
+  auto scalar_data = make_keys(n, seed);
   const auto scalar =
       raa::sort::scalar_radix_sort(scalar_core, scalar_data);
   ctx.report.record("scalar_radix_cpt", scalar.cpt(n), "cycles/tuple");
@@ -49,7 +51,7 @@ RAA_BENCHMARK("fig3_vsr_sort", "§3.2 Figure 3") {
   for (const unsigned lanes : {1u, 2u, 4u}) {
     std::vector<std::string> row{std::to_string(lanes)};
     for (const unsigned mvl : {8u, 16u, 32u, 64u}) {
-      auto data = make_keys(n, 1);
+      auto data = make_keys(n, seed);
       const auto st = raa::sort::run_vector_sort(
           raa::sort::Algorithm::vsr,
           raa::vec::VpuConfig{.mvl = mvl, .lanes = lanes}, data);
@@ -80,7 +82,7 @@ RAA_BENCHMARK("fig3_vsr_sort", "§3.2 Figure 3") {
        {raa::sort::Algorithm::vsr, raa::sort::Algorithm::vector_radix,
         raa::sort::Algorithm::vector_quicksort,
         raa::sort::Algorithm::bitonic}) {
-    auto data = make_keys(n, 1);
+    auto data = make_keys(n, seed);
     const auto st = raa::sort::run_vector_sort(
         algo, raa::vec::VpuConfig{.mvl = 64, .lanes = 4}, data);
     if (algo == raa::sort::Algorithm::vsr)
@@ -108,7 +110,7 @@ RAA_BENCHMARK("fig3_vsr_sort", "§3.2 Figure 3") {
     std::printf("VSR cycles-per-tuple vs input size (MVL=64, 4 lanes)\n");
   raa::Table flat{{"n", "CPT"}};
   for (const std::size_t size : {16384u, 65536u, 262144u}) {
-    auto data = make_keys(size, 2);
+    auto data = make_keys(size, seed + 1);
     const auto st = raa::sort::run_vector_sort(
         raa::sort::Algorithm::vsr,
         raa::vec::VpuConfig{.mvl = 64, .lanes = 4}, data);

@@ -27,6 +27,12 @@ UnitResult run_unit(const Spec& spec, const raa::Cli& cli, int rep, int reps,
   Context ctx{cli, unit.report, rep, reps};
   ctx.pool = pool;
   ctx.quiet = quiet;
+  if (cli.has("seed")) {
+    ctx.seed = static_cast<std::uint64_t>(cli.get_int("seed", 0));
+    // Surface the override in the report: results under a non-default
+    // seed are a different experiment than the checked-in baseline.
+    unit.report.set_param("seed", std::to_string(*ctx.seed));
+  }
   const auto t0 = clock::now();
   spec.fn(ctx);
   unit.secs = std::chrono::duration<double>(clock::now() - t0).count();
@@ -78,8 +84,8 @@ int harness_main(int argc, char** argv) {
   }
   if (cli.get_bool("help", false)) {
     std::printf(
-        "usage: %s [--reps=N] [--jobs=N] [--json=PATH] [--only=NAME] "
-        "[--list] [bench-specific flags]\n",
+        "usage: %s [--reps=N] [--jobs=N] [--seed=N] [--json=PATH] "
+        "[--only=NAME] [--list] [bench-specific flags]\n",
         argc > 0 ? argv[0] : "bench");
     return 0;
   }

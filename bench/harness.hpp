@@ -18,12 +18,20 @@
 ///                  every gated metric of BENCH_results.json is
 ///                  bit-identical for any N (only the informational wall
 ///                  metrics move). Table output is suppressed when N > 1.
+///   --seed=N       override the deterministic seed of every benchmark
+///                  body that draws random data (bodies read it through
+///                  ctx.seed_or(default)). The report records the
+///                  override as a "seed" parameter; metric values under a
+///                  non-default seed will legitimately differ from the
+///                  checked-in baseline.
 ///
 /// Single-figure binaries register exactly one benchmark; raa_bench_all
 /// links all bench sources and therefore registers all of them. Table
 /// output goes to stdout on the first repetition only (guard any direct
 /// printing with ctx.printing()).
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -46,6 +54,16 @@ struct Context {
   /// a run_comparison); results must not depend on completion order.
   exec::Pool* pool = nullptr;
   bool quiet = false;  ///< parallel run: suppress table printing
+  /// Set when --seed=N was passed; benchmark bodies read it through
+  /// seed_or() so any bench can be re-run under a different deterministic
+  /// random stream without a rebuild.
+  std::optional<std::uint64_t> seed;
+
+  /// The seed a benchmark body should use: the --seed override when
+  /// present, else the body's registered default.
+  std::uint64_t seed_or(std::uint64_t fallback) const noexcept {
+    return seed.value_or(fallback);
+  }
 
   /// True on the repetition whose tables should be printed.
   bool printing() const noexcept { return rep == 0 && !quiet; }

@@ -99,6 +99,11 @@ struct Metrics {
   double energy_pj() const {
     return e_l1 + e_l2 + e_spm + e_dram + e_noc + e_dir + e_static;
   }
+
+  /// Exact (bit-for-bit, including the FP sums) equality. The simulator's
+  /// determinism contracts — sharded vs serial, trace record vs replay —
+  /// are *exact*, so equality here is ==, not a tolerance.
+  friend bool operator==(const Metrics&, const Metrics&) = default;
 };
 
 }  // namespace raa::mem

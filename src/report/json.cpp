@@ -88,7 +88,9 @@ void dump_value(std::string& out, const Value& v, int indent, int depth) {
   }
 }
 
-/// Recursive-descent parser over a string_view; single-error, offset-tagged.
+/// Recursive-descent parser over a string_view; single-error, tagged with
+/// the line/column (1-based) of the offending byte so hand-edited inputs
+/// (scenario files) get an actionable diagnostic.
 struct Parser {
   std::string_view s;
   std::size_t i = 0;
@@ -96,8 +98,23 @@ struct Parser {
 
   static constexpr int kMaxDepth = 64;
 
-  bool fail(const std::string& msg) {
-    if (err.empty()) err = msg + " at offset " + std::to_string(i);
+  std::string position(std::size_t at) const {
+    std::size_t line = 1;
+    std::size_t bol = 0;  // offset of the current line's first byte
+    for (std::size_t k = 0; k < at && k < s.size(); ++k) {
+      if (s[k] == '\n') {
+        ++line;
+        bol = k + 1;
+      }
+    }
+    return "line " + std::to_string(line) + ", column " +
+           std::to_string(at - bol + 1);
+  }
+
+  bool fail(const std::string& msg) { return fail_at(msg, i); }
+
+  bool fail_at(const std::string& msg, std::size_t at) {
+    if (err.empty()) err = msg + " at " + position(at);
     return false;
   }
 
@@ -262,8 +279,13 @@ struct Parser {
       }
       while (true) {
         skip_ws();
+        const std::size_t key_pos = i;
         std::string key;
         if (!parse_string(key)) return false;
+        for (const auto& member : obj)
+          if (member.first == key)
+            return fail_at("duplicate object key \"" + escape(key) + "\"",
+                           key_pos);
         skip_ws();
         if (!consume(':')) return fail("expected ':'");
         Value val;
@@ -332,8 +354,7 @@ std::optional<Value> Value::parse(std::string_view text, std::string* error) {
   }
   p.skip_ws();
   if (p.i != text.size()) {
-    if (error)
-      *error = "trailing characters at offset " + std::to_string(p.i);
+    if (error) *error = "trailing characters at " + p.position(p.i);
     return std::nullopt;
   }
   return v;

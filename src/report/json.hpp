@@ -22,8 +22,11 @@ class Value;
 /// Arrays are plain vectors of values.
 using Array = std::vector<Value>;
 
-/// Objects are insertion-ordered member lists (duplicate keys are not
-/// rejected by the parser; find() returns the first match).
+/// Objects are insertion-ordered member lists. The parser rejects
+/// duplicate keys (a hand-edited scenario/baseline file with a repeated
+/// key is almost certainly a mistake, and silently keeping one of the two
+/// values would mask it); hand-built Objects may still contain them, and
+/// find() returns the first match.
 using Member = std::pair<std::string, Value>;
 using Object = std::vector<Member>;
 
@@ -76,8 +79,9 @@ class Value {
   std::string dump(int indent = 0) const;
 
   /// Parse a complete JSON document. Returns nullopt on malformed input
-  /// and, when `error` is non-null, stores a human-readable reason with a
-  /// byte offset.
+  /// (including duplicate object keys) and, when `error` is non-null,
+  /// stores a human-readable reason with the 1-based line and column of
+  /// the offending byte.
   static std::optional<Value> parse(std::string_view text,
                                     std::string* error = nullptr);
 

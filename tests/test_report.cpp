@@ -109,6 +109,39 @@ TEST(JsonParse, RejectsMalformedInput) {
   }
 }
 
+TEST(JsonParse, ErrorsCarryLineAndColumn) {
+  std::string err;
+  // The stray token sits on line 3, column 10.
+  EXPECT_FALSE(
+      Value::parse("{\n  \"a\": 1,\n  \"b\":   oops\n}", &err).has_value());
+  EXPECT_NE(err.find("line 3"), std::string::npos) << err;
+  EXPECT_NE(err.find("column 10"), std::string::npos) << err;
+
+  err.clear();
+  EXPECT_FALSE(Value::parse("[1, 2] trailing", &err).has_value());
+  EXPECT_NE(err.find("trailing"), std::string::npos) << err;
+  EXPECT_NE(err.find("line 1, column 8"), std::string::npos) << err;
+
+  // Single-line documents report column positions too.
+  err.clear();
+  EXPECT_FALSE(Value::parse("{\"a\":}", &err).has_value());
+  EXPECT_NE(err.find("line 1, column 6"), std::string::npos) << err;
+}
+
+TEST(JsonParse, RejectsDuplicateObjectKeys) {
+  std::string err;
+  EXPECT_FALSE(
+      Value::parse("{\n  \"tiles\": 4,\n  \"tiles\": 8\n}", &err)
+          .has_value());
+  EXPECT_NE(err.find("duplicate object key \"tiles\""), std::string::npos)
+      << err;
+  EXPECT_NE(err.find("line 3"), std::string::npos) << err;
+
+  // Same key in *different* objects is fine.
+  EXPECT_TRUE(Value::parse(R"([{"a": 1}, {"a": 2}])").has_value());
+  EXPECT_TRUE(Value::parse(R"({"outer": {"a": 1}, "a": 2})").has_value());
+}
+
 TEST(JsonParse, FindLooksUpObjectMembers) {
   const auto v = Value::parse(R"({"a": 1, "b": {"c": "x"}})");
   ASSERT_TRUE(v.has_value());
