@@ -1,0 +1,438 @@
+#include "fuzz/genscenario.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace raa::fuzz {
+
+namespace {
+
+using scen::GenKind;
+using scen::PhaseSpec;
+using scen::ProgramSpec;
+using scen::RegionSpec;
+using scen::Scenario;
+using scen::StreamSpec;
+
+constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+
+template <typename T>
+T pick(Rng& rng, std::initializer_list<T> xs) {
+  return xs.begin()[rng.below(xs.size())];
+}
+
+/// Mirror of the parser's window computation (scenario.cpp).
+std::uint64_t window_bytes(const RegionSpec& r, bool per_core, unsigned tiles) {
+  return per_core ? r.bytes_per_core
+                  : (r.bytes != 0 ? r.bytes : r.bytes_per_core * tiles);
+}
+
+/// How a stream or generator may address region `r` without tripping the
+/// protocol's safety checks. The invariants (derived from System::run):
+///  * an effective-strided access must stay inside the core's own slice of
+///    a strided bytes_per_core region — anything else overlaps another
+///    core's SPM chunks and aborts mid-run;
+///  * a region that is ever SPM-mapped (class strided) must only otherwise
+///    be accessed through the guarded class (random_unknown): the
+///    no-alias class asserts the line is unmapped.
+struct AccessChoice {
+  bool per_core = false;
+  std::optional<mem::RefClass> ref;  ///< override; nullopt = region class
+};
+
+AccessChoice choose_access(Rng& rng, const RegionSpec& r) {
+  AccessChoice a;
+  if (r.ref == mem::RefClass::strided) {
+    if (rng.chance(0.35)) {
+      a.ref = mem::RefClass::random_unknown;  // guarded view of mapped data
+      a.per_core = rng.chance(0.5);
+    } else {
+      a.per_core = true;  // SPM-tiled: own slice only
+    }
+  } else {
+    a.per_core = r.bytes_per_core != 0 && rng.chance(0.6);
+    if (rng.chance(0.25))
+      a.ref = rng.chance(0.5) ? mem::RefClass::random_unknown : r.ref;
+  }
+  return a;
+}
+
+std::uint32_t draw_gap(Rng& rng) {
+  return rng.chance(0.6) ? 0u : pick<std::uint32_t>(rng, {1, 10, 100});
+}
+
+std::vector<RegionSpec> draw_regions(Rng& rng, const mem::SystemConfig& cfg) {
+  const std::size_t n = 1 + rng.below(3);
+  std::vector<RegionSpec> regions;
+  for (std::size_t i = 0; i < n; ++i) {
+    RegionSpec r;
+    r.name = "r" + std::to_string(i);
+    if (rng.chance(0.45)) {
+      // SPM-tileable region: strided per-core slices, whole DMA chunks.
+      r.ref = mem::RefClass::strided;
+      r.bytes_per_core = cfg.dma_chunk_bytes * (1 + rng.below(2));
+    } else {
+      r.ref = rng.chance(0.5) ? mem::RefClass::random_unknown
+                              : mem::RefClass::random_noalias;
+      if (rng.chance(0.5))
+        r.bytes_per_core = pick<std::uint64_t>(rng, {256, 512, 1024});
+      else
+        r.bytes = pick<std::uint64_t>(rng, {1024, 2048, 4096, 8192});
+    }
+    regions.push_back(std::move(r));
+  }
+  return regions;
+}
+
+/// Indices of bytes_per_core regions (stencil grids, producer/consumer
+/// rings must be per-core).
+std::vector<std::size_t> per_core_regions(const std::vector<RegionSpec>& rs) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < rs.size(); ++i)
+    if (rs[i].bytes_per_core != 0) out.push_back(i);
+  return out;
+}
+
+ProgramSpec draw_scripted(Rng& rng, const std::vector<RegionSpec>& regions,
+                          unsigned tiles, const GenLimits& limits) {
+  ProgramSpec p;
+  p.kind = GenKind::scripted;
+  const std::size_t n_phases = 1 + rng.below(2);
+  for (std::size_t ph = 0; ph < n_phases; ++ph) {
+    PhaseSpec phase;
+    phase.gap_cycles = draw_gap(rng);
+    const std::size_t n_streams = 1 + rng.below(2);
+    std::uint64_t max_iters = limits.max_accesses /
+                              (n_phases * n_streams);
+    if (max_iters == 0) max_iters = 1;
+    for (std::size_t st = 0; st < n_streams; ++st) {
+      StreamSpec s;
+      s.region = rng.below(regions.size());
+      const AccessChoice a = choose_access(rng, regions[s.region]);
+      s.per_core_slice = a.per_core;
+      s.ref = a.ref;
+      s.kind = pick(rng, {kern::StreamKind::linear, kern::StreamKind::random,
+                          kern::StreamKind::random_rmw});
+      // Effective-strided streams go through the SPM software cache. A
+      // pure-store stream there write-allocates chunks (DMA-in skipped),
+      // and a later load of a line the stores never reached trips the
+      // System's spm_valid assertion. Loads (and rmw, whose load leg maps
+      // the chunk with a full DMA fill first) are always safe — so SPM
+      // streams never get the store flag.
+      const bool spm_tiled = regions[s.region].ref == mem::RefClass::strided &&
+                             s.per_core_slice && !s.ref.has_value();
+      s.store = !spm_tiled && rng.chance(0.4);
+      s.elem_bytes = pick<std::uint32_t>(rng, {4, 8, 16});
+      const std::uint64_t window =
+          window_bytes(regions[s.region], s.per_core_slice, tiles);
+      if (s.kind == kern::StreamKind::linear) {
+        s.start = s.elem_bytes * rng.below(4);  // < 64 <= any window
+        s.stride = s.elem_bytes * (1 + rng.below(3));
+        const std::uint64_t fit = (window - s.start - 1) / s.stride + 1;
+        max_iters = std::min(max_iters, fit);
+      } else {
+        s.start = rng.chance(0.7) ? 0 : s.elem_bytes;
+        s.stride = 8;  // parse default; unused by random streams
+      }
+      phase.streams.push_back(std::move(s));
+    }
+    phase.iterations = 1 + rng.below(max_iters);
+    p.phases.push_back(std::move(phase));
+  }
+  return p;
+}
+
+ProgramSpec draw_zipf(Rng& rng, const std::vector<RegionSpec>& regions,
+                      const GenLimits& limits) {
+  ProgramSpec p;
+  p.kind = GenKind::zipf;
+  p.region = rng.below(regions.size());
+  const AccessChoice a = choose_access(rng, regions[p.region]);
+  p.per_core_slice = a.per_core;
+  p.ref = a.ref;
+  p.accesses = 1 + rng.below(limits.max_accesses);
+  p.elem_bytes = pick<std::uint32_t>(rng, {4, 8, 16});
+  p.hot_fraction = rng.uniform(0.05, 0.5);
+  p.hot_weight = rng.uniform(0.5, 0.99);
+  // SPM-tiled accesses must stay load-only: a random store write-allocates
+  // its chunk and a later load of an unwritten line in it would trip the
+  // System's spm_valid assertion (see draw_scripted).
+  const bool zipf_spm = regions[p.region].ref == mem::RefClass::strided &&
+                        p.per_core_slice && !p.ref.has_value();
+  p.store_fraction =
+      (zipf_spm || rng.chance(0.5)) ? 0.0 : rng.uniform(0.0, 0.5);
+  p.gap_cycles = draw_gap(rng);
+  return p;
+}
+
+ProgramSpec draw_pointer_chase(Rng& rng, const std::vector<RegionSpec>& regions,
+                               const GenLimits& limits) {
+  ProgramSpec p;
+  p.kind = GenKind::pointer_chase;
+  p.region = rng.below(regions.size());
+  const AccessChoice a = choose_access(rng, regions[p.region]);
+  p.per_core_slice = a.per_core;
+  p.ref = a.ref;
+  p.accesses = 1 + rng.below(limits.max_accesses);
+  p.elem_bytes = pick<std::uint32_t>(rng, {4, 8, 16});
+  p.gap_cycles = draw_gap(rng);
+  return p;
+}
+
+ProgramSpec draw_stencil(Rng& rng, const std::vector<RegionSpec>& regions,
+                         const std::vector<std::size_t>& bpc,
+                         const GenLimits& limits) {
+  ProgramSpec p;
+  p.kind = GenKind::stencil;
+  p.region = bpc[rng.below(bpc.size())];
+  // Output grid must be at least as large per core as the input grid.
+  std::vector<std::size_t> outs;
+  for (const std::size_t i : bpc)
+    if (regions[i].bytes_per_core >= regions[p.region].bytes_per_core)
+      outs.push_back(i);
+  p.out_region = outs[rng.below(outs.size())];
+  p.halo = 1 + rng.below(2);
+  p.elem_bytes = pick<std::uint32_t>(rng, {4, 8, 16});
+  // Halo taps cross into neighbouring slices, so they must stay guarded.
+  if (rng.chance(0.5)) p.halo_ref = mem::RefClass::random_unknown;
+  const std::uint64_t elems = regions[p.region].bytes_per_core / p.elem_bytes;
+  const std::uint64_t per_sweep = elems * (2 * std::uint64_t{p.halo} + 2);
+  const std::uint64_t cap = std::clamp<std::uint64_t>(
+      limits.max_accesses / std::max<std::uint64_t>(per_sweep, 1), 1, 4);
+  p.sweeps = static_cast<std::uint32_t>(1 + rng.below(cap));
+  p.gap_cycles = draw_gap(rng);
+  return p;
+}
+
+ProgramSpec draw_producer_consumer(Rng& rng,
+                                   const std::vector<RegionSpec>& regions,
+                                   const std::vector<std::size_t>& bpc,
+                                   const GenLimits& limits) {
+  ProgramSpec p;
+  p.kind = GenKind::producer_consumer;
+  p.region = bpc[rng.below(bpc.size())];
+  // The ring crosses slice boundaries (each core reads its neighbour's
+  // slot), so the access class must never be effectively strided.
+  if (regions[p.region].ref == mem::RefClass::strided || rng.chance(0.4))
+    p.ref = mem::RefClass::random_unknown;
+  p.iterations = 1 + rng.below(std::max<std::uint64_t>(limits.max_accesses / 2, 1));
+  p.elem_bytes = pick<std::uint32_t>(rng, {4, 8, 16});
+  p.gap_cycles = draw_gap(rng);
+  return p;
+}
+
+ProgramSpec draw_bursty(Rng& rng, const std::vector<RegionSpec>& regions,
+                        const GenLimits& limits) {
+  ProgramSpec p;
+  p.kind = GenKind::bursty;
+  p.region = rng.below(regions.size());
+  const AccessChoice a = choose_access(rng, regions[p.region]);
+  p.per_core_slice = a.per_core;
+  p.ref = a.ref;
+  p.burst_len = 4 + rng.below(61);
+  p.bursts =
+      1 + rng.below(std::max<std::uint64_t>(limits.max_accesses / p.burst_len, 1));
+  p.gap_on = pick<std::uint32_t>(rng, {0, 1, 5});
+  p.gap_off = pick<std::uint32_t>(rng, {100, 1000});
+  // Load-only over SPM tiles, for the same reason as draw_zipf.
+  const bool bursty_spm = regions[p.region].ref == mem::RefClass::strided &&
+                          p.per_core_slice && !p.ref.has_value();
+  p.store_fraction =
+      (bursty_spm || rng.chance(0.5)) ? 0.0 : rng.uniform(0.0, 0.5);
+  p.elem_bytes = pick<std::uint32_t>(rng, {4, 8, 16});
+  return p;
+}
+
+/// Drop every region no program references and remap the survivors'
+/// indices, so generated scenarios always satisfy
+/// first_unreferenced_region() == nullopt.
+void prune_unreferenced_regions(Scenario& s) {
+  std::vector<bool> used(s.regions.size(), false);
+  for (const auto& p : s.programs) {
+    if (p.kind == GenKind::scripted) {
+      for (const auto& ph : p.phases)
+        for (const auto& st : ph.streams) used[st.region] = true;
+    } else {
+      used[p.region] = true;
+      if (p.kind == GenKind::stencil) used[p.out_region] = true;
+    }
+  }
+  if (std::find(used.begin(), used.end(), false) == used.end()) return;
+  std::vector<std::size_t> remap(s.regions.size(), 0);
+  std::vector<RegionSpec> kept;
+  for (std::size_t i = 0; i < s.regions.size(); ++i) {
+    if (!used[i]) continue;
+    remap[i] = kept.size();
+    kept.push_back(std::move(s.regions[i]));
+  }
+  s.regions = std::move(kept);
+  for (auto& p : s.programs) {
+    if (p.kind == GenKind::scripted) {
+      for (auto& ph : p.phases)
+        for (auto& st : ph.streams) st.region = remap[st.region];
+    } else {
+      p.region = remap[p.region];
+      if (p.kind == GenKind::stencil) p.out_region = remap[p.out_region];
+    }
+  }
+}
+
+}  // namespace
+
+scen::Scenario generate_scenario(std::uint64_t seed, std::uint64_t index,
+                                 const GenLimits& limits) {
+  std::uint64_t st = seed ^ (kGolden * (index + 1));
+  Rng rng{splitmix64(st)};
+
+  Scenario s;
+  s.name = "fuzz_s" + std::to_string(seed) + "_i" + std::to_string(index);
+  s.description =
+      "generated: seed=" + std::to_string(seed) + " index=" + std::to_string(index);
+  s.mode = pick(rng, {scen::ScenarioMode::cache_only, scen::ScenarioMode::hybrid,
+                      scen::ScenarioMode::compare});
+  s.seed = 1 + rng.below(std::uint64_t{1} << 48);
+
+  auto& cfg = s.config;
+  cfg.mesh_x = 1 + static_cast<unsigned>(rng.below(std::max(1u, limits.max_mesh_x)));
+  cfg.mesh_y = 1 + static_cast<unsigned>(rng.below(std::max(1u, limits.max_mesh_y)));
+  cfg.tiles = cfg.mesh_x * cfg.mesh_y;
+  cfg.line_bytes = pick<unsigned>(rng, {32, 64});
+  cfg.dma_chunk_bytes = pick<unsigned>(rng, {512, 1024});
+  // Room for four double-buffered strided streams per core — more than any
+  // generated program can open (at most one per region, <= 3 regions).
+  cfg.spm_bytes = 8 * cfg.dma_chunk_bytes;
+  cfg.l1_bytes = pick<unsigned>(rng, {2048, 4096});
+  cfg.l1_assoc = pick<unsigned>(rng, {2, 4});
+  cfg.l2_bank_bytes = pick<unsigned>(rng, {8192, 16384});
+  cfg.l2_assoc = pick<unsigned>(rng, {4, 8});
+
+  s.regions = draw_regions(rng, cfg);
+  const std::vector<std::size_t> bpc = per_core_regions(s.regions);
+
+  // Partition a shuffled core list among the programs; optionally leave a
+  // tail of cores idle.
+  std::vector<unsigned> cores(cfg.tiles);
+  std::iota(cores.begin(), cores.end(), 0u);
+  rng.shuffle(cores);
+  const unsigned max_prog = std::max(1u, std::min(limits.max_programs, cfg.tiles));
+  const unsigned n_prog = 1 + static_cast<unsigned>(rng.below(max_prog));
+  unsigned claimed = cfg.tiles;
+  if (cfg.tiles > n_prog && rng.chance(0.35))
+    claimed = n_prog + static_cast<unsigned>(rng.below(cfg.tiles - n_prog + 1));
+  std::vector<unsigned> sizes(n_prog, 1);
+  for (unsigned extra = claimed - n_prog; extra > 0; --extra)
+    ++sizes[rng.below(n_prog)];
+
+  std::size_t next_core = 0;
+  for (unsigned pi = 0; pi < n_prog; ++pi) {
+    std::vector<GenKind> kinds{GenKind::scripted, GenKind::zipf,
+                               GenKind::pointer_chase, GenKind::bursty};
+    if (!bpc.empty()) {
+      kinds.push_back(GenKind::stencil);
+      kinds.push_back(GenKind::producer_consumer);
+    }
+    ProgramSpec p;
+    switch (kinds[rng.below(kinds.size())]) {
+      case GenKind::scripted:
+        p = draw_scripted(rng, s.regions, cfg.tiles, limits);
+        break;
+      case GenKind::zipf:
+        p = draw_zipf(rng, s.regions, limits);
+        break;
+      case GenKind::pointer_chase:
+        p = draw_pointer_chase(rng, s.regions, limits);
+        break;
+      case GenKind::stencil:
+        p = draw_stencil(rng, s.regions, bpc, limits);
+        break;
+      case GenKind::producer_consumer:
+        p = draw_producer_consumer(rng, s.regions, bpc, limits);
+        break;
+      case GenKind::bursty:
+        p = draw_bursty(rng, s.regions, limits);
+        break;
+    }
+    p.cores.assign(cores.begin() + next_core,
+                   cores.begin() + next_core + sizes[pi]);
+    next_core += sizes[pi];
+    // Exercise the implicit "every core" form when one program owns the
+    // whole chip anyway.
+    if (n_prog == 1 && claimed == cfg.tiles && rng.chance(0.3)) p.cores.clear();
+    s.programs.push_back(std::move(p));
+  }
+
+  prune_unreferenced_regions(s);
+  return s;
+}
+
+void inject_marker_divergence(scen::Scenario& s) {
+  RegionSpec marker;
+  marker.name = kMarkerRegionName;
+  marker.bytes = 256;
+  marker.ref = mem::RefClass::random_noalias;
+  s.regions.push_back(std::move(marker));
+
+  ProgramSpec p;
+  p.kind = GenKind::bursty;
+  p.region = s.regions.size() - 1;
+  p.bursts = 1;
+  p.burst_len = 4;
+  p.gap_on = 0;
+  p.gap_off = 100;
+  p.elem_bytes = 8;
+
+  // Find a core for the marker program: an idle one if any exists.
+  std::vector<int> owner(s.config.tiles, -1);
+  for (std::size_t i = 0; i < s.programs.size(); ++i) {
+    if (s.programs[i].cores.empty()) {
+      for (auto& o : owner) o = static_cast<int>(i);
+    } else {
+      for (const unsigned c : s.programs[i].cores)
+        owner[c] = static_cast<int>(i);
+    }
+  }
+  unsigned core = s.config.tiles;
+  for (unsigned t = 0; t < s.config.tiles; ++t)
+    if (owner[t] < 0) {
+      core = t;
+      break;
+    }
+  bool dropped_donor = false;
+  if (core == s.config.tiles) {
+    // No idle core: steal one from the widest program (materializing the
+    // implicit all-cores form first so the donor keeps an explicit list).
+    std::size_t widest = 0;
+    std::size_t wsize = 0;
+    for (std::size_t i = 0; i < s.programs.size(); ++i) {
+      auto& cs = s.programs[i].cores;
+      if (cs.empty())
+        for (unsigned t = 0; t < s.config.tiles; ++t) cs.push_back(t);
+      if (cs.size() > wsize) {
+        wsize = cs.size();
+        widest = i;
+      }
+    }
+    auto& donor = s.programs[widest].cores;
+    core = donor.back();
+    donor.pop_back();
+    if (donor.empty()) {
+      // Single-core donor: remove it outright (an empty explicit core
+      // list is not parseable). Regions it alone used are pruned below,
+      // after the marker program joins — so the marker region, being
+      // referenced, survives the remap.
+      s.programs.erase(s.programs.begin() +
+                       static_cast<std::ptrdiff_t>(widest));
+      dropped_donor = true;
+    }
+  }
+  p.cores = {core};
+  s.programs.push_back(std::move(p));
+  if (dropped_donor) prune_unreferenced_regions(s);
+}
+
+}  // namespace raa::fuzz

@@ -1,0 +1,53 @@
+#pragma once
+/// \file genscenario.hpp
+/// The generator-of-generators: produce random *valid* scenarios from a
+/// (seed, index) pair. Valid means the result always survives
+/// Scenario::parse — every constraint the strict parser enforces (chunk
+/// tiling, window bounds, core coverage, per-generator key sets) is
+/// respected by construction, and every declared region is referenced by
+/// at least one program. Generation is a pure function of its arguments:
+/// the same (seed, index, limits) triple yields a field-identical
+/// Scenario on every host, which is what makes fuzz runs reproducible
+/// from the summary JSON alone.
+///
+/// The space covered: random chip shapes (1..max mesh tiles), random
+/// region layouts (shared extents and per-core slices), all five
+/// parameterized generators plus scripted multi-phase/multi-stream
+/// programs, partial core claims (idle cores), and cross-program sharing
+/// of guarded regions.
+
+#include <cstdint>
+
+#include "scenario/scenario.hpp"
+
+namespace raa::fuzz {
+
+/// Size knobs. The defaults keep one case to a few hundred thousand
+/// simulated accesses across all oracle runs — small enough for a CI
+/// budget of dozens of cases, large enough to exercise every protocol
+/// path (DMA tiling, guarded lookups, invalidations, prefetch).
+struct GenLimits {
+  unsigned max_mesh_x = 4;  ///< mesh_x drawn from [1, max_mesh_x]
+  unsigned max_mesh_y = 2;  ///< mesh_y drawn from [1, max_mesh_y]
+  unsigned max_programs = 3;
+  /// Upper bound on per-program access counts (zipf/pointer-chase draws,
+  /// scripted phase iterations, bursts * burst_len).
+  std::uint64_t max_accesses = 4096;
+};
+
+/// Generate the `index`-th scenario of the fuzz run keyed by `seed`.
+scen::Scenario generate_scenario(std::uint64_t seed, std::uint64_t index,
+                                 const GenLimits& limits = {});
+
+/// Region-name prefix the synthetic test oracle keys on (see oracles.hpp).
+inline constexpr const char* kMarkerRegionName = "__diverge_marker";
+
+/// Test hook for the shrinker suite: graft a marker region plus a minimal
+/// program referencing it onto `s`. The marker oracle then reports a
+/// divergence for exactly the scenarios containing the marker region, so
+/// the shrinker's fixpoint — the smallest valid scenario that still
+/// "fails" — is checkable without a real simulator bug. Claims an idle
+/// core when one exists, steals a core from the widest program otherwise.
+void inject_marker_divergence(scen::Scenario& s);
+
+}  // namespace raa::fuzz

@@ -1,0 +1,259 @@
+#include "fuzz/shrink.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace raa::fuzz {
+
+namespace {
+
+using scen::GenKind;
+using scen::Scenario;
+
+/// Validity bar for candidates: the serialized form must re-parse. This is
+/// exactly what a written repro artifact must satisfy, and it re-checks
+/// every semantic constraint (window sizes, chunk tiling, core ranges)
+/// that an edit may have broken.
+bool parse_valid(const Scenario& c) {
+  std::string err;
+  return scen::Scenario::parse(c.to_json(), &err).has_value();
+}
+
+std::uint64_t halve(std::uint64_t x) { return std::max<std::uint64_t>(x / 2, 1); }
+
+/// Drop every region no program references (repro files must pass the
+/// drivers' claimed-by-zero-cores check) and remap surviving indices.
+void prune_unreferenced(Scenario& s) {
+  std::vector<bool> used(s.regions.size(), false);
+  for (const auto& p : s.programs) {
+    if (p.kind == GenKind::scripted) {
+      for (const auto& ph : p.phases)
+        for (const auto& st : ph.streams) used[st.region] = true;
+    } else {
+      used[p.region] = true;
+      if (p.kind == GenKind::stencil) used[p.out_region] = true;
+    }
+  }
+  std::vector<std::size_t> remap(s.regions.size(), 0);
+  std::vector<scen::RegionSpec> kept;
+  for (std::size_t i = 0; i < s.regions.size(); ++i) {
+    if (!used[i]) continue;
+    remap[i] = kept.size();
+    kept.push_back(std::move(s.regions[i]));
+  }
+  s.regions = std::move(kept);
+  for (auto& p : s.programs) {
+    if (p.kind == GenKind::scripted) {
+      for (auto& ph : p.phases)
+        for (auto& st : ph.streams) st.region = remap[st.region];
+    } else {
+      p.region = remap[p.region];
+      if (p.kind == GenKind::stencil) p.out_region = remap[p.out_region];
+    }
+  }
+}
+
+/// Shrink the mesh along one axis, discarding cores that fall out of
+/// range. Returns false (candidate unusable) when an explicit core list
+/// would become empty.
+bool shrink_mesh(Scenario& s, bool along_x) {
+  unsigned& axis = along_x ? s.config.mesh_x : s.config.mesh_y;
+  if (axis <= 1) return false;
+  axis /= 2;
+  s.config.tiles = s.config.mesh_x * s.config.mesh_y;
+  for (auto& p : s.programs) {
+    if (p.cores.empty()) continue;  // implicit all-cores tracks the mesh
+    std::erase_if(p.cores,
+                  [&](unsigned c) { return c >= s.config.tiles; });
+    if (p.cores.empty()) return false;
+  }
+  return true;
+}
+
+/// Renumber the claimed cores to 0..k-1 (order-preserving by id), which
+/// unblocks mesh shrinking when the surviving cores have high ids.
+bool compact_cores(Scenario& s) {
+  std::vector<unsigned> claimed;
+  for (const auto& p : s.programs)
+    for (const unsigned c : p.cores) claimed.push_back(c);
+  if (claimed.empty()) return false;
+  std::sort(claimed.begin(), claimed.end());
+  bool changed = false;
+  for (auto& p : s.programs)
+    for (unsigned& c : p.cores) {
+      const auto rank = static_cast<unsigned>(
+          std::lower_bound(claimed.begin(), claimed.end(), c) -
+          claimed.begin());
+      changed = changed || rank != c;
+      c = rank;
+    }
+  return changed;
+}
+
+/// All single-edit candidates, most aggressive first. Regenerated after
+/// every accepted edit, so indices always refer to the current scenario.
+std::vector<Scenario> propose(const Scenario& s) {
+  std::vector<Scenario> out;
+  const auto with = [&](auto&& edit) {
+    Scenario c = s;
+    if (edit(c)) out.push_back(std::move(c));
+  };
+
+  // Whole-program deletions.
+  if (s.programs.size() > 1)
+    for (std::size_t i = 0; i < s.programs.size(); ++i)
+      with([&](Scenario& c) {
+        c.programs.erase(c.programs.begin() + static_cast<std::ptrdiff_t>(i));
+        return true;
+      });
+
+  // Phase / stream deletions inside scripted programs.
+  for (std::size_t i = 0; i < s.programs.size(); ++i) {
+    const auto& p = s.programs[i];
+    if (p.kind != GenKind::scripted) continue;
+    if (p.phases.size() > 1)
+      for (std::size_t j = 0; j < p.phases.size(); ++j)
+        with([&](Scenario& c) {
+          auto& ph = c.programs[i].phases;
+          ph.erase(ph.begin() + static_cast<std::ptrdiff_t>(j));
+          return true;
+        });
+    for (std::size_t j = 0; j < p.phases.size(); ++j)
+      if (p.phases[j].streams.size() > 1)
+        for (std::size_t k = 0; k < p.phases[j].streams.size(); ++k)
+          with([&](Scenario& c) {
+            auto& st = c.programs[i].phases[j].streams;
+            st.erase(st.begin() + static_cast<std::ptrdiff_t>(k));
+            return true;
+          });
+  }
+
+  // Chip shrinking: halve an axis, or renumber cores to unblock it.
+  with([&](Scenario& c) { return shrink_mesh(c, /*along_x=*/true); });
+  with([&](Scenario& c) { return shrink_mesh(c, /*along_x=*/false); });
+  with([&](Scenario& c) { return compact_cores(c); });
+
+  // Core deletions: drop the last core of any multi-core program, and
+  // collapse the implicit all-cores form to a single core.
+  for (std::size_t i = 0; i < s.programs.size(); ++i) {
+    if (s.programs[i].cores.size() > 1)
+      with([&](Scenario& c) {
+        c.programs[i].cores.pop_back();
+        return true;
+      });
+    if (s.programs[i].cores.empty() && s.config.tiles > 1)
+      with([&](Scenario& c) {
+        c.programs[i].cores = {0};
+        return true;
+      });
+  }
+
+  // Region pruning (programs dropped above leave orphans behind).
+  with([&](Scenario& c) {
+    const std::size_t before = c.regions.size();
+    prune_unreferenced(c);
+    return c.regions.size() < before;
+  });
+
+  // Size halvings and gap/fraction zeroing, one field per candidate.
+  for (std::size_t i = 0; i < s.programs.size(); ++i) {
+    const auto& p = s.programs[i];
+    const auto field = [&](auto get) {
+      with([&](Scenario& c) {
+        auto& x = get(c.programs[i]);
+        if (x <= 1) return false;
+        x = static_cast<std::remove_reference_t<decltype(x)>>(halve(x));
+        return true;
+      });
+    };
+    switch (p.kind) {
+      case GenKind::scripted:
+        for (std::size_t j = 0; j < p.phases.size(); ++j) {
+          with([&](Scenario& c) {
+            auto& ph = c.programs[i].phases[j];
+            if (ph.iterations <= 1) return false;
+            ph.iterations = halve(ph.iterations);
+            return true;
+          });
+          with([&](Scenario& c) {
+            auto& ph = c.programs[i].phases[j];
+            if (ph.gap_cycles == 0) return false;
+            ph.gap_cycles = 0;
+            return true;
+          });
+        }
+        break;
+      case GenKind::zipf:
+      case GenKind::pointer_chase:
+        field([](scen::ProgramSpec& q) -> std::uint64_t& { return q.accesses; });
+        break;
+      case GenKind::stencil:
+        field([](scen::ProgramSpec& q) -> std::uint32_t& { return q.sweeps; });
+        field([](scen::ProgramSpec& q) -> std::uint32_t& { return q.halo; });
+        break;
+      case GenKind::producer_consumer:
+        field([](scen::ProgramSpec& q) -> std::uint64_t& { return q.iterations; });
+        break;
+      case GenKind::bursty:
+        field([](scen::ProgramSpec& q) -> std::uint64_t& { return q.bursts; });
+        field([](scen::ProgramSpec& q) -> std::uint64_t& { return q.burst_len; });
+        break;
+    }
+    if (p.kind != GenKind::scripted && p.kind != GenKind::bursty)
+      with([&](Scenario& c) {
+        if (c.programs[i].gap_cycles == 0) return false;
+        c.programs[i].gap_cycles = 0;
+        return true;
+      });
+    if (p.kind == GenKind::zipf || p.kind == GenKind::bursty)
+      with([&](Scenario& c) {
+        if (c.programs[i].store_fraction == 0.0) return false;
+        c.programs[i].store_fraction = 0.0;
+        return true;
+      });
+  }
+
+  // Region size halvings (parse re-validates window and tiling bounds).
+  for (std::size_t i = 0; i < s.regions.size(); ++i) {
+    with([&](Scenario& c) {
+      auto& r = c.regions[i];
+      if (r.bytes > 1) {
+        r.bytes = halve(r.bytes);
+        return true;
+      }
+      if (r.bytes_per_core > 1) {
+        r.bytes_per_core = halve(r.bytes_per_core);
+        return true;
+      }
+      return false;
+    });
+  }
+
+  return out;
+}
+
+}  // namespace
+
+scen::Scenario shrink_scenario(scen::Scenario s, const StillFails& still_fails,
+                               ShrinkStats* stats) {
+  ShrinkStats local;
+  ShrinkStats& st = stats != nullptr ? *stats : local;
+  st = {};
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    ++st.rounds;
+    for (auto& cand : propose(s)) {
+      ++st.attempts;
+      if (!parse_valid(cand)) continue;
+      if (!still_fails(cand)) continue;
+      s = std::move(cand);
+      ++st.accepted;
+      progress = true;
+      break;  // re-propose against the smaller scenario
+    }
+  }
+  return s;
+}
+
+}  // namespace raa::fuzz

@@ -1,0 +1,31 @@
+#pragma once
+/// \file shrink.hpp
+/// Greedy test-case shrinking for fuzz-found divergences. Given a failing
+/// scenario and a "does it still fail" predicate, repeatedly propose
+/// smaller candidates — drop a program / phase / stream / core, shrink the
+/// mesh, prune unreferenced regions, halve access counts and region sizes,
+/// zero gaps and store fractions — and accept the first candidate that is
+/// still parse-valid (validity = serialize -> re-parse, the exact bar
+/// repro files must clear) and still fails. Fixpoint: a full round in
+/// which no candidate is accepted. Every edit strictly reduces some size
+/// measure, so the loop always terminates.
+
+#include <functional>
+
+#include "scenario/scenario.hpp"
+
+namespace raa::fuzz {
+
+/// Predicate evaluated on each candidate: true = the bug still reproduces.
+using StillFails = std::function<bool(const scen::Scenario&)>;
+
+struct ShrinkStats {
+  unsigned rounds = 0;    ///< passes over the candidate list
+  unsigned attempts = 0;  ///< candidates proposed (valid or not)
+  unsigned accepted = 0;  ///< edits kept (each one shrank the scenario)
+};
+
+scen::Scenario shrink_scenario(scen::Scenario s, const StillFails& still_fails,
+                               ShrinkStats* stats = nullptr);
+
+}  // namespace raa::fuzz

@@ -65,6 +65,10 @@ struct SystemConfig {
   unsigned lines_per_chunk() const { return dma_chunk_bytes / line_bytes; }
   /// Flits for one line payload: 1 header + line/8B payload flits.
   unsigned flits_per_line() const { return 1 + line_bytes / 8; }
+
+  /// Exact field-wise equality (the scenario serializer's round-trip
+  /// contract — generate -> serialize -> parse — is field-identical).
+  friend bool operator==(const SystemConfig&, const SystemConfig&) = default;
 };
 
 /// Which hierarchy the system models (the Figure 1 comparison).

@@ -970,4 +970,11 @@ ComparisonResult run_comparison(const SystemConfig& config,
   return result;
 }
 
+Metrics run_with_store(const SystemConfig& config, HierarchyMode mode,
+                       Workload& workload, LineStore store,
+                       const RunOptions& options) {
+  System sys{config, mode, store};
+  return sys.run(workload, options);
+}
+
 }  // namespace raa::mem

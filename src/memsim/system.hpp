@@ -268,4 +268,14 @@ ComparisonResult run_comparison(const SystemConfig& config,
                                 const std::function<Workload()>& make_workload,
                                 const ComparisonOptions& options = {});
 
+/// Run `workload` to completion on a fresh System with an explicit
+/// per-line state backend. This is the differential hook the scenario
+/// fuzzer drives: the paged and hashed LineTable backends must produce
+/// field-identical Metrics for every workload (the StoreEquivalence
+/// contract), so any mismatch here is a simulator bug, not a workload
+/// property.
+Metrics run_with_store(const SystemConfig& config, HierarchyMode mode,
+                       Workload& workload, LineStore store,
+                       const RunOptions& options = {});
+
 }  // namespace raa::mem

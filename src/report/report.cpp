@@ -149,19 +149,24 @@ json::Value RunReport::to_json() const {
   return v;
 }
 
-bool RunReport::write_file(const std::string& path, std::string* error) const {
+bool write_json_file(const json::Value& v, const std::string& path,
+                     std::string* error) {
   std::ofstream out{path};
   if (!out) {
     if (error) *error = "cannot open " + path + " for writing";
     return false;
   }
-  out << to_json().dump(2) << '\n';
+  out << v.dump(2) << '\n';
   out.flush();
   if (!out) {
     if (error) *error = "write to " + path + " failed";
     return false;
   }
   return true;
+}
+
+bool RunReport::write_file(const std::string& path, std::string* error) const {
+  return write_json_file(to_json(), path, error);
 }
 
 }  // namespace raa::report

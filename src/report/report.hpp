@@ -21,6 +21,18 @@ namespace raa::report {
 inline constexpr int kSchemaVersion = 1;
 inline constexpr const char* kSchemaName = "raa-bench-results";
 
+/// Schema marker of the fuzz summary raa_fuzz emits (src/fuzz/). Kept in
+/// the report layer next to the bench schema so every machine-readable
+/// artifact the repo produces declares itself in one place.
+inline constexpr int kFuzzSchemaVersion = 1;
+inline constexpr const char* kFuzzSchemaName = "raa-fuzz-summary";
+
+/// Pretty-print any JSON value to a file (trailing newline included);
+/// returns false and fills `error` on I/O failure. Shared by the fuzz
+/// summary/repro writers and ad-hoc tools so file handling lives once.
+bool write_json_file(const json::Value& v, const std::string& path,
+                     std::string* error = nullptr);
+
 /// Build/toolchain provenance embedded in every report.
 struct Environment {
   std::string build_type;  ///< CMake config (Release, Debug, ...)

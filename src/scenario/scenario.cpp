@@ -673,6 +673,195 @@ std::optional<Scenario> Scenario::load_file(const std::string& path,
   return s;
 }
 
+namespace {
+
+/// Serialization helpers for Scenario::to_json. Every key parse() can read
+/// is emitted explicitly (defaults included), so the parse(to_json()) round
+/// trip restores every field bit-for-bit instead of relying on the two
+/// sides agreeing about defaults.
+json::Value config_to_json(const mem::SystemConfig& c) {
+  json::Value v;
+  v.set("tiles", c.tiles);
+  v.set("mesh_x", c.mesh_x);
+  v.set("mesh_y", c.mesh_y);
+  v.set("mem_controllers", c.mem_controllers);
+  v.set("line_bytes", c.line_bytes);
+  v.set("l1_bytes", c.l1_bytes);
+  v.set("l1_assoc", c.l1_assoc);
+  v.set("l2_bank_bytes", c.l2_bank_bytes);
+  v.set("l2_assoc", c.l2_assoc);
+  v.set("spm_bytes", c.spm_bytes);
+  v.set("dma_chunk_bytes", c.dma_chunk_bytes);
+  v.set("lat_l1_hit", c.lat_l1_hit);
+  v.set("lat_spm_hit", c.lat_spm_hit);
+  v.set("lat_l2_hit", c.lat_l2_hit);
+  v.set("lat_dir", c.lat_dir);
+  v.set("lat_filter", c.lat_filter);
+  v.set("lat_dram", c.lat_dram);
+  v.set("lat_router", c.lat_router);
+  v.set("lat_link", c.lat_link);
+  v.set("dram_cycles_per_line", c.dram_cycles_per_line);
+  v.set("e_l1_hit", c.e_l1_hit);
+  v.set("e_l1_probe", c.e_l1_probe);
+  v.set("e_spm", c.e_spm);
+  v.set("e_l2", c.e_l2);
+  v.set("e_dir", c.e_dir);
+  v.set("e_filter", c.e_filter);
+  v.set("e_dram_line", c.e_dram_line);
+  v.set("e_flit_hop", c.e_flit_hop);
+  v.set("e_static_per_tile_cycle", c.e_static_per_tile_cycle);
+  return v;
+}
+
+json::Value cores_to_json(const std::vector<unsigned>& cores) {
+  json::Value a;
+  for (const unsigned c : cores) a.push_back(c);
+  return a;
+}
+
+const char* slice_str(bool per_core) { return per_core ? "core" : "all"; }
+
+json::Value program_to_json(const ProgramSpec& p,
+                            const std::vector<RegionSpec>& regions) {
+  json::Value v;
+  const auto region_name = [&](std::size_t idx) {
+    return json::Value{regions[idx].name};
+  };
+  switch (p.kind) {
+    case GenKind::scripted: {
+      v.set("generator", "scripted");
+      if (!p.cores.empty()) v.set("cores", cores_to_json(p.cores));
+      json::Value phases;
+      for (const auto& ph : p.phases) {
+        json::Value pv;
+        pv.set("iterations", static_cast<double>(ph.iterations));
+        pv.set("gap_cycles", ph.gap_cycles);
+        json::Value streams;
+        for (const auto& st : ph.streams) {
+          json::Value sv;
+          sv.set("region", region_name(st.region));
+          sv.set("kind", st.kind == kern::StreamKind::linear ? "linear"
+                         : st.kind == kern::StreamKind::random
+                             ? "random"
+                             : "random_rmw");
+          sv.set("store", st.store);
+          if (st.ref) sv.set("class", mem::to_string(*st.ref));
+          sv.set("start", static_cast<double>(st.start));
+          sv.set("stride", static_cast<double>(st.stride));
+          sv.set("elem_bytes", st.elem_bytes);
+          sv.set("slice", slice_str(st.per_core_slice));
+          streams.push_back(std::move(sv));
+        }
+        pv.set("streams", std::move(streams));
+        phases.push_back(std::move(pv));
+      }
+      v.set("phases", std::move(phases));
+      break;
+    }
+    case GenKind::zipf:
+      v.set("generator", "zipf");
+      if (!p.cores.empty()) v.set("cores", cores_to_json(p.cores));
+      v.set("region", region_name(p.region));
+      v.set("slice", slice_str(p.per_core_slice));
+      if (p.ref) v.set("class", mem::to_string(*p.ref));
+      v.set("accesses", static_cast<double>(p.accesses));
+      v.set("elem_bytes", p.elem_bytes);
+      v.set("hot_fraction", p.hot_fraction);
+      v.set("hot_weight", p.hot_weight);
+      v.set("store_fraction", p.store_fraction);
+      v.set("gap_cycles", p.gap_cycles);
+      break;
+    case GenKind::pointer_chase:
+      v.set("generator", "pointer_chase");
+      if (!p.cores.empty()) v.set("cores", cores_to_json(p.cores));
+      v.set("region", region_name(p.region));
+      v.set("slice", slice_str(p.per_core_slice));
+      if (p.ref) v.set("class", mem::to_string(*p.ref));
+      v.set("accesses", static_cast<double>(p.accesses));
+      v.set("elem_bytes", p.elem_bytes);
+      v.set("gap_cycles", p.gap_cycles);
+      break;
+    case GenKind::stencil:
+      v.set("generator", "stencil");
+      if (!p.cores.empty()) v.set("cores", cores_to_json(p.cores));
+      v.set("in", region_name(p.region));
+      v.set("out", region_name(p.out_region));
+      v.set("sweeps", p.sweeps);
+      v.set("halo", p.halo);
+      if (p.halo_ref) v.set("halo_class", mem::to_string(*p.halo_ref));
+      v.set("elem_bytes", p.elem_bytes);
+      v.set("gap_cycles", p.gap_cycles);
+      break;
+    case GenKind::producer_consumer:
+      v.set("generator", "producer_consumer");
+      if (!p.cores.empty()) v.set("cores", cores_to_json(p.cores));
+      v.set("region", region_name(p.region));
+      if (p.ref) v.set("class", mem::to_string(*p.ref));
+      v.set("iterations", static_cast<double>(p.iterations));
+      v.set("elem_bytes", p.elem_bytes);
+      v.set("gap_cycles", p.gap_cycles);
+      break;
+    case GenKind::bursty:
+      // Note: bursty has no gap_cycles key (gap_on/gap_off cover it).
+      v.set("generator", "bursty");
+      if (!p.cores.empty()) v.set("cores", cores_to_json(p.cores));
+      v.set("region", region_name(p.region));
+      v.set("slice", slice_str(p.per_core_slice));
+      if (p.ref) v.set("class", mem::to_string(*p.ref));
+      v.set("bursts", static_cast<double>(p.bursts));
+      v.set("burst_len", static_cast<double>(p.burst_len));
+      v.set("gap_on", p.gap_on);
+      v.set("gap_off", p.gap_off);
+      v.set("store_fraction", p.store_fraction);
+      v.set("elem_bytes", p.elem_bytes);
+      break;
+  }
+  return v;
+}
+
+}  // namespace
+
+json::Value Scenario::to_json() const {
+  json::Value doc;
+  doc.set("name", name);
+  if (!description.empty()) doc.set("description", description);
+  doc.set("mode", to_string(mode));
+  doc.set("seed", static_cast<double>(seed));
+  doc.set("config", config_to_json(config));
+  json::Value regions_v;
+  for (const auto& r : regions) {
+    json::Value rv;
+    rv.set("name", r.name);
+    rv.set("class", mem::to_string(r.ref));
+    if (r.bytes != 0) rv.set("bytes", static_cast<double>(r.bytes));
+    if (r.bytes_per_core != 0)
+      rv.set("bytes_per_core", static_cast<double>(r.bytes_per_core));
+    regions_v.push_back(std::move(rv));
+  }
+  doc.set("regions", std::move(regions_v));
+  json::Value programs_v;
+  for (const auto& p : programs)
+    programs_v.push_back(program_to_json(p, regions));
+  doc.set("programs", std::move(programs_v));
+  return doc;
+}
+
+std::optional<std::size_t> Scenario::first_unreferenced_region() const {
+  std::vector<bool> used(regions.size(), false);
+  for (const auto& p : programs) {
+    if (p.kind == GenKind::scripted) {
+      for (const auto& ph : p.phases)
+        for (const auto& st : ph.streams) used[st.region] = true;
+    } else {
+      used[p.region] = true;
+      if (p.kind == GenKind::stencil) used[p.out_region] = true;
+    }
+  }
+  for (std::size_t i = 0; i < used.size(); ++i)
+    if (!used[i]) return i;
+  return std::nullopt;
+}
+
 mem::Workload Scenario::instantiate() const {
   mem::Workload w;
   w.name = name;

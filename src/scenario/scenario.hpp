@@ -43,6 +43,8 @@ struct RegionSpec {
   std::uint64_t bytes = 0;
   std::uint64_t bytes_per_core = 0;
   mem::RefClass ref = mem::RefClass::strided;
+
+  friend bool operator==(const RegionSpec&, const RegionSpec&) = default;
 };
 
 /// One stream of a scripted phase (see kernels/program.hpp). Offsets are
@@ -57,12 +59,16 @@ struct StreamSpec {
   std::uint64_t stride = 8;
   std::uint32_t elem_bytes = 8;
   bool per_core_slice = false;
+
+  friend bool operator==(const StreamSpec&, const StreamSpec&) = default;
 };
 
 struct PhaseSpec {
   std::uint64_t iterations = 0;
   std::uint32_t gap_cycles = 0;
   std::vector<StreamSpec> streams;
+
+  friend bool operator==(const PhaseSpec&, const PhaseSpec&) = default;
 };
 
 /// The program kind a scenario assigns to a set of cores.
@@ -105,6 +111,8 @@ struct ProgramSpec {
   double hot_fraction = 0.1;  ///< zipf
   double hot_weight = 0.9;
   double store_fraction = 0.0;  ///< zipf, bursty
+
+  friend bool operator==(const ProgramSpec&, const ProgramSpec&) = default;
 };
 
 /// A parsed, validated scenario. Deterministic: instantiate() is a pure
@@ -134,6 +142,23 @@ struct Scenario {
   /// address space and build one program per core (cores no entry covers
   /// get an empty program).
   mem::Workload instantiate() const;
+
+  /// Serialize back to the JSON schema parse() accepts. The round trip is
+  /// field-identical: parse(to_json()) == *this for any parse-valid
+  /// scenario (numbers go through shortest-round-trip formatting, and
+  /// every per-generator key parse() reads is emitted explicitly). This
+  /// is what lets the fuzzer persist generated scenarios and shrunken
+  /// repro artifacts as files raa_sim accepts unchanged.
+  json::Value to_json() const;
+
+  /// Index of the first declared region no program ever references — a
+  /// region "claimed by zero cores". parse() accepts such scenarios (the
+  /// struct is still well-formed), but drivers should reject them:
+  /// simulating a region nobody touches silently skews the address-space
+  /// layout for no workload effect. nullopt when every region is used.
+  std::optional<std::size_t> first_unreferenced_region() const;
+
+  friend bool operator==(const Scenario&, const Scenario&) = default;
 };
 
 }  // namespace raa::scen

@@ -172,6 +172,36 @@ struct Reader {
   }
 };
 
+/// Validate that an encoded core stream decodes cleanly: exactly `count`
+/// accesses, every varint complete, and no trailing bytes. read_file runs
+/// this over every stream so a truncated or bit-flipped file fails with a
+/// diagnostic at load time instead of tripping RAA_CHECK (or worse) deep
+/// inside a replay run.
+const char* validate_stream(const TraceData::CoreStream& cs) {
+  const std::uint8_t* p = cs.bytes.data();
+  const std::uint8_t* end = p + cs.bytes.size();
+  const auto skip_varint = [&]() -> const char* {
+    unsigned shift = 0;
+    while (true) {
+      if (p >= end) return "truncated varint";
+      const std::uint8_t b = *p++;
+      if (!(b & 0x80)) return nullptr;
+      shift += 7;
+      if (shift >= 64) return "overlong varint";
+    }
+  };
+  for (std::uint64_t i = 0; i < cs.count; ++i) {
+    if (p >= end) return "stream ends before its access count";
+    const std::uint8_t flags = *p++;
+    if (!(flags & kFlagRepeatDelta))
+      if (const char* e = skip_varint()) return e;
+    if (flags & kFlagHasGap)
+      if (const char* e = skip_varint()) return e;
+  }
+  if (p != end) return "trailing bytes after the last access";
+  return nullptr;
+}
+
 /// SystemConfig fields in serialization order. Keeping the walk in one
 /// template means writer and reader cannot drift apart.
 template <typename U32, typename F64>
@@ -312,10 +342,30 @@ std::optional<TraceData> TraceData::read_file(const std::string& path,
     if (!rd.need(nbytes, "truncated core stream")) return fail(rd.err);
     cs.bytes.assign(rd.p, rd.p + nbytes);
     rd.p += nbytes;
+    if (const char* e = validate_stream(cs))
+      return fail("core stream " + std::to_string(i) + " is corrupt: " + e);
     t.cores.push_back(std::move(cs));
   }
   if (rd.p != rd.end) return fail("trailing bytes after last core stream");
   return t;
+}
+
+TraceData::CoreStream encode_accesses(std::span<const mem::Access> accesses) {
+  TraceData::CoreStream cs;
+  Encoder enc;
+  enc.out = &cs;
+  for (const mem::Access& a : accesses) enc.encode(a);
+  return cs;
+}
+
+std::vector<mem::Access> decode_stream(const TraceData::CoreStream& cs) {
+  auto trace = std::make_shared<TraceData>();
+  trace->cores.push_back(cs);
+  TraceProgram prog{std::move(trace), 0};
+  std::vector<mem::Access> out(cs.count);
+  const std::size_t n = prog.fill({out.data(), out.size()});
+  RAA_CHECK_MSG(n == cs.count, "stream decoded short of its access count");
+  return out;
 }
 
 void record_workload(mem::Workload& w, const mem::SystemConfig& config,

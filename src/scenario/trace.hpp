@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -53,6 +54,16 @@ struct TraceData {
   static std::optional<TraceData> read_file(const std::string& path,
                                             std::string* error = nullptr);
 };
+
+/// Encode a raw access sequence with the per-access trace codec (the same
+/// encoder record_workload drives); exposed so property tests and tools
+/// can exercise the codec without a simulation run.
+TraceData::CoreStream encode_accesses(std::span<const mem::Access> accesses);
+
+/// Decode one encoded core stream back into accesses. Throws
+/// (std::logic_error via RAA_CHECK) on a malformed stream; streams loaded
+/// through TraceData::read_file are pre-validated and never throw here.
+std::vector<mem::Access> decode_stream(const TraceData::CoreStream& cs);
 
 /// Wrap every program of `w` so a subsequent System::run records each
 /// core's access stream into `trace` (whose regions/cores are reset from

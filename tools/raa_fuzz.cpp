@@ -1,0 +1,99 @@
+// raa_fuzz — the differential scenario fuzzer: generate random valid
+// scenarios from a seed, run every determinism oracle pair over each
+// (paged vs hashed line store, serial vs sharded engine, record vs
+// replay, serialize vs re-parse), and on any divergence shrink to a
+// minimal repro written as a scenario JSON file raa_sim accepts
+// unchanged, plus a recorded RAAT trace of the failing run.
+//
+//   raa_fuzz --seed=S --budget-runs=N [--shards=N] [--out=DIR]
+//            [--json=PATH] [--max-accesses=N] [--inject-divergence]
+//            [--quiet]
+//
+//   --seed            the fuzz-run key; case i is a pure function of
+//                     (seed, i), so any case regenerates from the summary
+//   --budget-runs     how many scenarios to generate and check (the CI
+//                     budget knob)
+//   --shards          lane count for the sharded-engine oracle
+//   --out             directory for repro artifacts (created if missing)
+//   --json            write the raa-fuzz-summary document here; two runs
+//                     with the same options emit byte-identical summaries
+//   --max-accesses    per-program access-count ceiling for generation
+//   --inject-divergence  graft the synthetic __diverge_marker divergence
+//                     onto every case and enable the marker oracle — the
+//                     end-to-end shrink/repro exercise (tests, CI)
+//
+// Exit codes: 0 all cases clean, 1 divergence found (repros written) or
+// artifact I/O failure, 2 bad usage.
+
+#include <cstdio>
+#include <string>
+
+#include "common/cli.hpp"
+#include "fuzz/fuzz.hpp"
+#include "report/report.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --seed=S --budget-runs=N [--shards=N] [--out=DIR] "
+               "[--json=PATH] [--max-accesses=N] [--inject-divergence] "
+               "[--quiet]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const raa::Cli cli{argc, argv};
+  if (cli.get_bool("help", false)) {
+    usage(argv[0]);
+    return 0;
+  }
+
+  raa::fuzz::FuzzOptions opt;
+  const std::int64_t seed = cli.get_int("seed", 1);
+  const std::int64_t budget = cli.get_int("budget-runs", 25);
+  const std::int64_t shards = cli.get_int("shards", 4);
+  const std::int64_t max_accesses =
+      cli.get_int("max-accesses",
+                  static_cast<std::int64_t>(opt.limits.max_accesses));
+  if (seed < 0 || budget < 1 || shards < 2 || max_accesses < 1) {
+    std::fprintf(stderr,
+                 "error: need --seed >= 0, --budget-runs >= 1, --shards >= 2 "
+                 "and --max-accesses >= 1\n");
+    return usage(argv[0]);
+  }
+  opt.seed = static_cast<std::uint64_t>(seed);
+  opt.budget_runs = static_cast<std::uint64_t>(budget);
+  opt.shards = static_cast<unsigned>(shards);
+  opt.limits.max_accesses = static_cast<std::uint64_t>(max_accesses);
+  opt.out_dir = cli.get_string("out", "");
+  opt.inject_marker = cli.get_bool("inject-divergence", false);
+  opt.quiet = cli.get_bool("quiet", false);
+
+  const raa::fuzz::FuzzResult res = raa::fuzz::run_fuzz(opt);
+
+  const std::string json_path = cli.get_string("json", "");
+  if (!json_path.empty()) {
+    std::string err;
+    if (!raa::report::write_json_file(res.summary, json_path, &err)) {
+      std::fprintf(stderr, "error: %s\n", err.c_str());
+      return 1;
+    }
+    if (!opt.quiet) std::printf("wrote %s\n", json_path.c_str());
+  }
+  if (!res.error.empty()) {
+    std::fprintf(stderr, "error: %s\n", res.error.c_str());
+    return 1;
+  }
+  std::printf("raa_fuzz: seed=%llu budget=%llu -> %u divergence(s)\n",
+              static_cast<unsigned long long>(opt.seed),
+              static_cast<unsigned long long>(opt.budget_runs),
+              res.divergences);
+  return res.divergences == 0 ? 0 : 1;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -21,8 +21,15 @@
 //                in-memory record -> replay round trip; exit 1 on any
 //                mismatch
 //
+//   --fail-on-marker  test hook for the fuzz suite: exit 1 when the
+//                scenario declares a __diverge_marker region (the
+//                synthetic divergence the shrinker tests inject), so a
+//                shrunken repro can be shown to reproduce end to end
+//
 // Exit codes: 0 ok, 1 simulation/selfcheck/write failure, 2 bad usage or
-// unparseable input (matching bench_compare's convention).
+// unparseable input (matching bench_compare's convention), 3 degenerate
+// scenario (a region claimed by zero cores — parseable, but simulating it
+// silently skews the address-space layout for no workload effect).
 
 #include <algorithm>
 #include <chrono>
@@ -37,6 +44,7 @@
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "fuzz/genscenario.hpp"  // kMarkerRegionName (header-only use)
 #include "memsim/system.hpp"
 #include "report/report.hpp"
 #include "scenario/scenario.hpp"
@@ -92,7 +100,7 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s --scenario=FILE [--mode=cache_only|hybrid|compare] "
       "[--seed=N] [--shards=N] [--record=TRACE] [--json=PATH] "
-      "[--selfcheck] [--quiet]\n"
+      "[--selfcheck] [--fail-on-marker] [--quiet]\n"
       "       %s --replay=TRACE [--mode=cache_only|hybrid] [--shards=N] "
       "[--json=PATH] [--selfcheck] [--quiet]\n",
       argv0, argv0);
@@ -245,6 +253,29 @@ int main(int argc, char** argv) try {
         return 2;
       }
       scenario.mode = *m;
+    }
+    // A declared region no program references is a degenerate scenario:
+    // parse() accepts it (the struct is well-formed) but running it would
+    // silently skew the address-space layout for no workload effect.
+    // Distinct exit code so scripts can tell it from a parse error.
+    if (const auto unref = scenario.first_unreferenced_region()) {
+      std::fprintf(stderr,
+                   "error: %s: scenario.regions[%zu]: region '%s' is "
+                   "declared but referenced by no program (claimed by zero "
+                   "cores)\n",
+                   scenario_path.c_str(), *unref,
+                   scenario.regions[*unref].name.c_str());
+      return 3;
+    }
+    if (cli.get_bool("fail-on-marker", false)) {
+      for (const auto& r : scenario.regions)
+        if (r.name.rfind(raa::fuzz::kMarkerRegionName, 0) == 0) {
+          std::fprintf(stderr,
+                       "marker divergence reproduced: region '%s' present "
+                       "in %s\n",
+                       r.name.c_str(), scenario_path.c_str());
+          return 1;
+        }
     }
     cfg = scenario.config;
     name = scenario.name;
