@@ -311,6 +311,23 @@ scen::Scenario generate_scenario(std::uint64_t seed, std::uint64_t index,
   cfg.l2_bank_bytes = pick<unsigned>(rng, {8192, 16384});
   cfg.l2_assoc = pick<unsigned>(rng, {4, 8});
 
+  // Half the corpus runs the banked DRAM backend, knobs drawn wide enough
+  // to hit row hits, conflicts and (when the interval is on) refreshes.
+  if (rng.chance(0.5)) {
+    cfg.memory.kind = mem::MemBackendKind::banked;
+    auto& b = cfg.memory.banked;
+    b.channels = pick<unsigned>(rng, {1, 2, 4});
+    b.banks_per_channel = pick<unsigned>(rng, {2, 4, 8});
+    b.row_bytes = pick<unsigned>(rng, {1024, 2048, 4096});
+    b.t_rp = pick<unsigned>(rng, {20, 40});
+    b.t_rcd = pick<unsigned>(rng, {20, 40});
+    b.t_cas = pick<unsigned>(rng, {20, 40});
+    b.line_cycles = pick<unsigned>(rng, {2, 4});
+    b.refresh_interval = pick<unsigned>(rng, {0, 4096, 8192});
+    b.refresh_cycles = pick<unsigned>(rng, {64, 128});
+    b.dma_cycles_per_line = pick<unsigned>(rng, {2, 4});
+  }
+
   s.regions = draw_regions(rng, cfg);
   const std::vector<std::size_t> bpc = per_core_regions(s.regions);
 

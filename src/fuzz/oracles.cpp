@@ -37,6 +37,10 @@ std::string metrics_diff(const mem::Metrics& a, const mem::Metrics& b) {
   d("spm_hits", a.spm_hits, b.spm_hits);
   d("dram_line_reads", a.dram_line_reads, b.dram_line_reads);
   d("dram_line_writes", a.dram_line_writes, b.dram_line_writes);
+  d("dram_row_hits", a.dram_row_hits, b.dram_row_hits);
+  d("dram_row_misses", a.dram_row_misses, b.dram_row_misses);
+  d("dram_row_conflicts", a.dram_row_conflicts, b.dram_row_conflicts);
+  d("dram_refreshes", a.dram_refreshes, b.dram_refreshes);
   d("invalidations", a.invalidations, b.invalidations);
   d("writebacks", a.writebacks, b.writebacks);
   d("prefetch_fills", a.prefetch_fills, b.prefetch_fills);
@@ -55,6 +59,7 @@ const char* to_string(Oracle o) noexcept {
     case Oracle::shards: return "shards";
     case Oracle::replay: return "replay";
     case Oracle::roundtrip: return "roundtrip";
+    case Oracle::backend: return "backend";
     case Oracle::marker: return "marker";
   }
   return "?";
@@ -118,6 +123,41 @@ std::optional<Divergence> check_oracles(const scen::Scenario& s,
           mem::run_with_store(parsed->config, mode, w2, mem::LineStore::paged);
       if (!(m == ref))
         return Divergence{Oracle::roundtrip, mode, metrics_diff(ref, m)};
+    }
+  }
+
+  // Backend oracle: a forced-banked copy must satisfy the same determinism
+  // contracts (serial == sharded, recorded run == trace replay). When the
+  // scenario already selected banked the main battery covered it above.
+  if (s.config.memory.kind != mem::MemBackendKind::banked) {
+    scen::Scenario b = s;
+    b.config.memory.kind = mem::MemBackendKind::banked;
+    for (const mem::HierarchyMode mode : b.hierarchy_modes()) {
+      auto trace = std::make_shared<scen::TraceData>();
+      mem::Workload w = b.instantiate();
+      scen::record_workload(w, b.config, mode, *trace);
+      const mem::Metrics ref =
+          mem::run_with_store(b.config, mode, w, mem::LineStore::paged);
+      {
+        mem::Workload w2 = b.instantiate();
+        mem::RunOptions ro;
+        ro.shards = opt.shards;
+        const mem::Metrics m = mem::run_with_store(b.config, mode, w2,
+                                                   mem::LineStore::paged, ro);
+        if (!(m == ref))
+          return Divergence{Oracle::backend, mode,
+                            "banked serial vs sharded: " +
+                                metrics_diff(ref, m)};
+      }
+      {
+        mem::Workload w2 = scen::make_replay_workload(trace);
+        const mem::Metrics m =
+            mem::run_with_store(b.config, mode, w2, mem::LineStore::paged);
+        if (!(m == ref))
+          return Divergence{Oracle::backend, mode,
+                            "banked record vs replay: " +
+                                metrics_diff(ref, m)};
+      }
     }
   }
   return std::nullopt;

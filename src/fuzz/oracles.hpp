@@ -8,8 +8,11 @@
 ///   shards    serial engine           vs  N-sharded engine
 ///   replay    live generators         vs  recorded-trace replay
 ///   roundtrip the scenario as built   vs  parse(to_json(scenario))
+///   backend   forced-banked copy: serial vs sharded, and recorded run
+///             vs trace replay (the four pairs above already run under
+///             whichever DRAM backend the scenario itself selected)
 ///
-/// A fifth, test-only oracle ("marker") fails for exactly the scenarios
+/// A further, test-only oracle ("marker") fails for exactly the scenarios
 /// containing a __diverge_marker region; the shrinker tests use it as a
 /// synthetic bug with a known minimal reproducer.
 
@@ -22,7 +25,14 @@
 
 namespace raa::fuzz {
 
-enum class Oracle : std::uint8_t { store, shards, replay, roundtrip, marker };
+enum class Oracle : std::uint8_t {
+  store,
+  shards,
+  replay,
+  roundtrip,
+  backend,
+  marker
+};
 
 const char* to_string(Oracle o) noexcept;
 

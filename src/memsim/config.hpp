@@ -19,6 +19,62 @@
 
 namespace raa::mem {
 
+/// Which DRAM-timing model serves line fills and writebacks (see
+/// memsim/backend.hpp for the MemBackend interface and both models).
+enum class MemBackendKind : std::uint8_t {
+  flat,    ///< fixed-latency DRAM — the original model, baseline-identical
+  banked,  ///< per-channel/bank FSMs: open-row policy, FR-FCFS, refresh
+};
+
+/// Parameters of the flat (fixed-latency) model. These are the former
+/// loose SystemConfig fields `lat_dram`/`dram_cycles_per_line`/
+/// `e_dram_line`, now owned by FlatBackend; the scenario parser keeps the
+/// old config-level keys as aliases into this struct.
+struct FlatBackendParams {
+  unsigned lat_dram = 120;            ///< cycles per line access
+  unsigned dram_cycles_per_line = 4;  ///< bandwidth term for DMA bursts
+  double e_dram_line = 1200.0;        ///< pJ per line read/write
+
+  friend bool operator==(const FlatBackendParams&,
+                         const FlatBackendParams&) = default;
+};
+
+/// Parameters of the banked model. Timings are DDR-class in core cycles:
+/// a row hit costs t_cas + line_cycles, an activate-on-closed-bank adds
+/// t_rcd, a row conflict adds a precharge (t_rp) on top — so with the
+/// defaults a conflict lands on the flat model's 120 cycles and a hit is
+/// ~3x cheaper, which is exactly the locality axis the flat model hides.
+struct BankedBackendParams {
+  unsigned channels = 2;          ///< independent channels per controller
+  unsigned banks_per_channel = 8;
+  unsigned row_bytes = 2048;      ///< row-buffer size
+  unsigned t_rp = 40;             ///< precharge (close a conflicting row)
+  unsigned t_rcd = 40;            ///< activate (open a row)
+  unsigned t_cas = 40;            ///< column access on the open row
+  unsigned line_cycles = 4;       ///< data-burst cycles per line on the bus
+  /// Cycles between all-bank refreshes per channel (0 disables refresh).
+  unsigned refresh_interval = 8192;
+  unsigned refresh_cycles = 128;  ///< banks blocked per refresh (tRFC)
+  /// Streaming cadence for burst lines served from L2, not DRAM.
+  unsigned dma_cycles_per_line = 4;
+  double e_line = 1200.0;      ///< pJ per line transferred
+  double e_activate = 300.0;   ///< pJ per row activation
+  double e_refresh = 600.0;    ///< pJ per all-bank refresh
+
+  friend bool operator==(const BankedBackendParams&,
+                         const BankedBackendParams&) = default;
+};
+
+/// Backend selection + both parameter sets (the unselected one is inert,
+/// but kept so scenario round trips are field-identical).
+struct MemoryConfig {
+  MemBackendKind kind = MemBackendKind::flat;
+  FlatBackendParams flat;
+  BankedBackendParams banked;
+
+  friend bool operator==(const MemoryConfig&, const MemoryConfig&) = default;
+};
+
 /// Chip-level configuration. Defaults reproduce the Figure 1 system.
 struct SystemConfig {
   // --- topology ---
@@ -44,10 +100,8 @@ struct SystemConfig {
   /// Local SPM-filter lookup for guarded accesses. 1 cycle: the lookup
   /// overlaps the L1 tag probe (as in the ISCA'15 design).
   unsigned lat_filter = 1;
-  unsigned lat_dram = 120;
   unsigned lat_router = 2;     ///< per hop
   unsigned lat_link = 1;       ///< per hop
-  unsigned dram_cycles_per_line = 4;  ///< bandwidth term for DMA bursts
 
   // --- energies (pJ) ---
   double e_l1_hit = 20.0;
@@ -56,11 +110,13 @@ struct SystemConfig {
   double e_l2 = 60.0;
   double e_dir = 8.0;
   double e_filter = 2.0;
-  double e_dram_line = 1200.0;  ///< one 64B line
   double e_flit_hop = 3.0;
   /// Chip static power expressed as pJ per core-cycle (leakage of the full
   /// tile incl. its slice of the uncore).
   double e_static_per_tile_cycle = 2.0;
+
+  // --- DRAM timing model (memsim/backend.hpp) ---
+  MemoryConfig memory;
 
   unsigned lines_per_chunk() const { return dma_chunk_bytes / line_bytes; }
   /// Flits for one line payload: 1 header + line/8B payload flits.
@@ -92,6 +148,9 @@ struct Metrics {
   std::uint64_t l2_hits = 0, l2_misses = 0;
   std::uint64_t spm_hits = 0;
   std::uint64_t dram_line_reads = 0, dram_line_writes = 0;
+  // Banked-backend row-buffer behaviour (always 0 under the flat model).
+  std::uint64_t dram_row_hits = 0, dram_row_misses = 0;
+  std::uint64_t dram_row_conflicts = 0, dram_refreshes = 0;
   std::uint64_t invalidations = 0;
   std::uint64_t writebacks = 0;
   std::uint64_t prefetch_fills = 0;

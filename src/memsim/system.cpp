@@ -140,6 +140,22 @@ System::System(const SystemConfig& config, HierarchyMode mode,
   core_clock_.assign(cfg_.tiles, 0.0);
   stream_trackers_.assign(cfg_.tiles, {});
   tracker_rr_.assign(cfg_.tiles, 0);
+  backend_ = make_backend(cfg_);
+  backend_->set_completion([this](const LineReq& req, double latency) {
+    // Demand reads are the only completions a core blocks on; writeback
+    // and burst completions merely advance the backend's timing state.
+    if (req.kind == LineReq::Kind::read && !req.burst) {
+      read_done_ = true;
+      read_latency_ = latency;
+    }
+  });
+}
+
+unsigned System::dram_read(std::uint64_t line, unsigned mc) {
+  read_done_ = false;
+  backend_->enqueue(LineReq{LineReq::Kind::read, line, mc, now_, false});
+  while (!read_done_) backend_->tick();
+  return static_cast<unsigned>(read_latency_);
 }
 
 unsigned System::send(unsigned from, unsigned to, unsigned flits) {
@@ -173,9 +189,10 @@ void System::l2_insert_absent(unsigned home, std::uint64_t line,
                        value);
   if (victim && victim->dirty) {
     lines_.at(victim->line_addr).dram = victim->value;
-    ++metrics_.dram_line_writes;
-    metrics_.e_dram += cfg_.e_dram_line;
-    send(home, noc_.nearest_mc(home), flits_line_);
+    const unsigned mc = noc_.nearest_mc(home);
+    backend_->enqueue(
+        LineReq{LineReq::Kind::write, victim->line_addr, mc, now_, false});
+    send(home, mc, flits_line_);
   }
 }
 
@@ -281,9 +298,7 @@ unsigned System::fetch_line(unsigned core, std::uint64_t line, LineInfo& li,
     metrics_.e_l2 += cfg_.e_l2;  // tag probe
     const unsigned mc = noc_.nearest_mc(home);
     value = li.dram;
-    ++metrics_.dram_line_reads;
-    metrics_.e_dram += cfg_.e_dram_line;
-    lat += send(home, mc, 1) + cfg_.lat_dram +
+    lat += send(home, mc, 1) + dram_read(line, mc) +
            send(mc, home, flits_line_) +
            send(home, core, flits_line_);
     // The probe above just missed, so skip l2_install's redundant re-probe.
@@ -419,6 +434,7 @@ double System::dma_map_chunk(unsigned core, const Region& region,
   // One SPM-directory transaction covers the chunk.
   metrics_.e_dir += cfg_.e_dir;
   send(core, home, 1);
+  backend_->begin_burst();
 
   for (std::uint64_t line = chunk_base; line < chunk_end;
        line += cfg_.line_bytes) {
@@ -463,9 +479,9 @@ double System::dma_map_chunk(unsigned core, const Region& region,
     if (fetch) {
       if (!from_cache_side) {
         value = li.dram;
-        ++metrics_.dram_line_reads;
         ++dram_lines;
-        metrics_.e_dram += cfg_.e_dram_line;
+        backend_->enqueue(
+            LineReq{LineReq::Kind::read, line, mc, now_, /*burst=*/true});
         // The fill allocates in the home L2 bank on the way (L2-backed
         // DMA), so later re-maps of the same data stay on chip. The fetch
         // probe above already missed, so insert without re-probing.
@@ -498,11 +514,14 @@ double System::dma_map_chunk(unsigned core, const Region& region,
     return noc_.latency(noc_.hops(core, home), 1) * 2.0 + cfg_.lat_dir;
   }
   // Pipelined DMA latency: request + access latency of the slowest source
-  // + per-line cadence + data head flight.
-  const unsigned src_lat = dram_lines > 0 ? cfg_.lat_dram : cfg_.lat_l2_hit;
+  // + per-line cadence + data head flight. The backend times the DRAM
+  // half of the burst; L2-sourced lines cost lat_l2_hit at the head.
+  while (!backend_->idle()) backend_->tick();
+  const BurstTiming bt = backend_->finish_burst(lines, dram_lines);
+  const double src_lat =
+      dram_lines > 0 ? bt.service : static_cast<double>(cfg_.lat_l2_hit);
   const double lat =
-      noc_.latency(noc_.hops(core, mc), 1) + src_lat +
-      static_cast<double>(lines) * cfg_.dram_cycles_per_line +
+      noc_.latency(noc_.hops(core, mc), 1) + src_lat + bt.cadence +
       noc_.latency(noc_.hops(mc, core), flits_line_);
   return lat;
 }
@@ -651,9 +670,7 @@ unsigned System::guarded_access(unsigned core, std::uint64_t line,
   } else {
     const unsigned mc = noc_.nearest_mc(home);
     value = li.dram;
-    ++metrics_.dram_line_reads;
-    metrics_.e_dram += cfg_.e_dram_line;
-    lat += send(home, mc, 1) + cfg_.lat_dram +
+    lat += send(home, mc, 1) + dram_read(line, mc) +
            send(mc, home, flits_line_) +
            send(home, core, flits_line_);
     l2_insert_absent(home, line, value, /*dirty=*/false);
@@ -681,6 +698,8 @@ void System::begin_run(Workload& workload) {
   workload_ = &workload;
   metrics_ = Metrics{};
   core_clock_.assign(cfg_.tiles, 0.0);
+  backend_->begin_run();
+  now_ = 0.0;
   region_count_ = workload.regions.size();
   streams_.assign(cfg_.tiles * std::max<std::size_t>(region_count_, 1), {});
   // Flatten the region deque: the per-access region checks index it hard.
@@ -688,8 +707,19 @@ void System::begin_run(Workload& workload) {
 }
 
 Metrics System::finish_run() {
+  // Flush-time DMA/writeback traffic is issued at the makespan clock.
+  now_ = *std::max_element(core_clock_.begin(), core_clock_.end());
   flush_all_software_caches();
-  metrics_.cycles = *std::max_element(core_clock_.begin(), core_clock_.end());
+  while (!backend_->idle()) backend_->tick();  // drain queued writebacks
+  const BackendStats& bs = backend_->stats();
+  metrics_.dram_line_reads = bs.line_reads;
+  metrics_.dram_line_writes = bs.line_writes;
+  metrics_.dram_row_hits = bs.row_hits;
+  metrics_.dram_row_misses = bs.row_misses;
+  metrics_.dram_row_conflicts = bs.row_conflicts;
+  metrics_.dram_refreshes = bs.refreshes;
+  metrics_.e_dram = bs.energy_pj;
+  metrics_.cycles = now_;
   metrics_.e_static = metrics_.cycles * static_cast<double>(cfg_.tiles) *
                       cfg_.e_static_per_tile_cycle;
   workload_ = nullptr;
@@ -699,6 +729,7 @@ Metrics System::finish_run() {
 void System::step(unsigned core, const Access& acc,
                   std::size_t& last_region) {
   core_clock_[core] += acc.gap_cycles;
+  now_ = core_clock_[core];
 
   unsigned lat = 0;
   const std::uint64_t line = line_of(acc.addr);

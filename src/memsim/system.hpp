@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "memsim/access.hpp"
+#include "memsim/backend.hpp"
 #include "memsim/cache.hpp"
 #include "memsim/config.hpp"
 #include "memsim/linetable.hpp"
@@ -116,6 +117,10 @@ class System {
 
   /// Account one message (traffic + energy) and return its latency.
   unsigned send(unsigned from, unsigned to, unsigned flits);
+
+  /// Blocking demand read on the DRAM backend: enqueue, tick until the
+  /// completion fires, return the latency. Commit-thread only.
+  unsigned dram_read(std::uint64_t line, unsigned mc);
 
   // --- value plumbing (functional coherence model) ---
   std::uint64_t fresh_version() { return ++version_counter_; }
@@ -223,6 +228,13 @@ class System {
   std::uint64_t version_counter_ = 0;
   std::uint32_t chunk_tag_counter_ = 0;
   Metrics metrics_;
+
+  /// DRAM timing model (memsim/backend.hpp). Only ever driven from the
+  /// commit thread, so its state evolves identically for any shard count.
+  std::unique_ptr<MemBackend> backend_;
+  double now_ = 0.0;  ///< commit-loop clock handed to the backend
+  bool read_done_ = false;
+  double read_latency_ = 0.0;
 
   // Stream-prefetcher state (per core): 8 sequential-stream trackers; the
   // prefetched-but-not-yet-used "tag" bit lives in LineInfo::prefetch_mask.

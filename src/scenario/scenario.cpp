@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/check.hpp"
+#include "memsim/backend.hpp"
 #include "scenario/generators.hpp"
 
 namespace raa::scen {
@@ -162,17 +163,22 @@ bool parse_config(Ctx& c, const Value& v, const std::string& path,
     else if (key == "lat_l2_hit") u = &cfg.lat_l2_hit;
     else if (key == "lat_dir") u = &cfg.lat_dir;
     else if (key == "lat_filter") u = &cfg.lat_filter;
-    else if (key == "lat_dram") u = &cfg.lat_dram;
+    // lat_dram / dram_cycles_per_line / e_dram_line moved into the flat
+    // backend's parameter struct; the config-level keys stay as aliases
+    // so pre-backend scenario files keep parsing (memory.flat overrides
+    // them when both are given — it is parsed after config).
+    else if (key == "lat_dram") u = &cfg.memory.flat.lat_dram;
     else if (key == "lat_router") u = &cfg.lat_router;
     else if (key == "lat_link") u = &cfg.lat_link;
-    else if (key == "dram_cycles_per_line") u = &cfg.dram_cycles_per_line;
+    else if (key == "dram_cycles_per_line")
+      u = &cfg.memory.flat.dram_cycles_per_line;
     else if (key == "e_l1_hit") d = &cfg.e_l1_hit;
     else if (key == "e_l1_probe") d = &cfg.e_l1_probe;
     else if (key == "e_spm") d = &cfg.e_spm;
     else if (key == "e_l2") d = &cfg.e_l2;
     else if (key == "e_dir") d = &cfg.e_dir;
     else if (key == "e_filter") d = &cfg.e_filter;
-    else if (key == "e_dram_line") d = &cfg.e_dram_line;
+    else if (key == "e_dram_line") d = &cfg.memory.flat.e_dram_line;
     else if (key == "e_flit_hop") d = &cfg.e_flit_hop;
     else if (key == "e_static_per_tile_cycle") d = &cfg.e_static_per_tile_cycle;
     else return c.fail(p, "unknown config key");
@@ -193,6 +199,93 @@ bool parse_config(Ctx& c, const Value& v, const std::string& path,
                             std::to_string(cfg.mesh_x * cfg.mesh_y) + ")");
   if (cfg.dma_chunk_bytes % cfg.line_bytes != 0)
     return c.fail(path, "dma_chunk_bytes must be a multiple of line_bytes");
+  return true;
+}
+
+bool to_backend_kind(Ctx& c, const Value& v, const std::string& path,
+                     mem::MemBackendKind& out) {
+  std::string s;
+  if (!to_str(c, v, path, s)) return false;
+  if (s == "flat")
+    out = mem::MemBackendKind::flat;
+  else if (s == "banked")
+    out = mem::MemBackendKind::banked;
+  else
+    return c.fail(path,
+                  "unknown backend '" + s + "' (want flat or banked)");
+  return true;
+}
+
+/// Shared loop for the flat/banked parameter sub-objects: each key maps
+/// to an unsigned or double destination; unsigned keys must be positive
+/// unless listed in `zero_ok` (refresh can be disabled outright).
+struct ParamKey {
+  const char* key;
+  unsigned* u = nullptr;
+  double* d = nullptr;
+  bool zero_ok = false;
+};
+
+bool parse_params(Ctx& c, const Value& v, const std::string& path,
+                  std::initializer_list<ParamKey> keys) {
+  if (!v.is_object()) return c.fail(path, "expected an object");
+  for (const auto& [key, val] : v.as_object()) {
+    const std::string p = path + "." + key;
+    const ParamKey* match = nullptr;
+    for (const ParamKey& k : keys)
+      if (key == k.key) match = &k;
+    if (match == nullptr) return c.fail(p, "unknown key");
+    if (match->u != nullptr) {
+      std::uint32_t x = 0;
+      if (!to_u32(c, val, p, x)) return false;
+      if (x == 0 && !match->zero_ok) return c.fail(p, "must be positive");
+      *match->u = x;
+    } else {
+      if (!val.is_number() || val.as_number() < 0.0)
+        return c.fail(p, "expected a non-negative number");
+      *match->d = val.as_number();
+    }
+  }
+  return true;
+}
+
+/// The scenario's "memory" object: backend selection + both models'
+/// knobs. Parsed after "config", so memory.flat.* wins over the aliased
+/// config-level keys.
+bool parse_memory(Ctx& c, const Value& v, const std::string& path,
+                  mem::MemoryConfig& m) {
+  if (!v.is_object()) return c.fail(path, "expected an object");
+  if (!check_keys(c, v, path, {"backend", "flat", "banked"})) return false;
+  if (const Value* bv = v.find("backend")) {
+    if (!to_backend_kind(c, *bv, path + ".backend", m.kind)) return false;
+  }
+  if (const Value* fv = v.find("flat")) {
+    if (!parse_params(c, *fv, path + ".flat",
+                      {{"lat_dram", &m.flat.lat_dram},
+                       {"dram_cycles_per_line",
+                        &m.flat.dram_cycles_per_line},
+                       {"e_dram_line", nullptr, &m.flat.e_dram_line}}))
+      return false;
+  }
+  if (const Value* bv = v.find("banked")) {
+    auto& b = m.banked;
+    if (!parse_params(
+            c, *bv, path + ".banked",
+            {{"channels", &b.channels},
+             {"banks_per_channel", &b.banks_per_channel},
+             {"row_bytes", &b.row_bytes},
+             {"t_rp", &b.t_rp, nullptr, true},
+             {"t_rcd", &b.t_rcd, nullptr, true},
+             {"t_cas", &b.t_cas, nullptr, true},
+             {"line_cycles", &b.line_cycles},
+             {"refresh_interval", &b.refresh_interval, nullptr, true},
+             {"refresh_cycles", &b.refresh_cycles, nullptr, true},
+             {"dma_cycles_per_line", &b.dma_cycles_per_line},
+             {"e_line", nullptr, &b.e_line},
+             {"e_activate", nullptr, &b.e_activate},
+             {"e_refresh", nullptr, &b.e_refresh}}))
+      return false;
+  }
   return true;
 }
 
@@ -578,8 +671,8 @@ std::optional<Scenario> Scenario::parse(const json::Value& doc,
   }
   Scenario s;
   if (!check_keys(c, doc, root,
-                  {"name", "description", "mode", "seed", "config", "regions",
-                   "programs"}))
+                  {"name", "description", "mode", "seed", "config", "memory",
+                   "regions", "programs"}))
     return std::nullopt;
   if (!req(c, doc, root, "name", to_str, s.name)) return std::nullopt;
   if (s.name.empty()) {
@@ -602,6 +695,10 @@ std::optional<Scenario> Scenario::parse(const json::Value& doc,
   if (!opt(c, doc, root, "seed", to_u64, s.seed)) return std::nullopt;
   if (const Value* cv = doc.find("config")) {
     if (!parse_config(c, *cv, root + ".config", s.config)) return std::nullopt;
+  }
+  if (const Value* mv = doc.find("memory")) {
+    if (!parse_memory(c, *mv, root + ".memory", s.config.memory))
+      return std::nullopt;
   }
 
   const Value* rv = doc.find("regions");
@@ -697,19 +794,44 @@ json::Value config_to_json(const mem::SystemConfig& c) {
   v.set("lat_l2_hit", c.lat_l2_hit);
   v.set("lat_dir", c.lat_dir);
   v.set("lat_filter", c.lat_filter);
-  v.set("lat_dram", c.lat_dram);
   v.set("lat_router", c.lat_router);
   v.set("lat_link", c.lat_link);
-  v.set("dram_cycles_per_line", c.dram_cycles_per_line);
   v.set("e_l1_hit", c.e_l1_hit);
   v.set("e_l1_probe", c.e_l1_probe);
   v.set("e_spm", c.e_spm);
   v.set("e_l2", c.e_l2);
   v.set("e_dir", c.e_dir);
   v.set("e_filter", c.e_filter);
-  v.set("e_dram_line", c.e_dram_line);
   v.set("e_flit_hop", c.e_flit_hop);
   v.set("e_static_per_tile_cycle", c.e_static_per_tile_cycle);
+  return v;
+}
+
+/// The "memory" object mirrors parse_memory key for key, defaults
+/// included, keeping the parse(to_json()) round trip field-identical.
+json::Value memory_to_json(const mem::MemoryConfig& m) {
+  json::Value v;
+  v.set("backend", mem::to_string(m.kind));
+  json::Value f;
+  f.set("lat_dram", m.flat.lat_dram);
+  f.set("dram_cycles_per_line", m.flat.dram_cycles_per_line);
+  f.set("e_dram_line", m.flat.e_dram_line);
+  v.set("flat", std::move(f));
+  json::Value b;
+  b.set("channels", m.banked.channels);
+  b.set("banks_per_channel", m.banked.banks_per_channel);
+  b.set("row_bytes", m.banked.row_bytes);
+  b.set("t_rp", m.banked.t_rp);
+  b.set("t_rcd", m.banked.t_rcd);
+  b.set("t_cas", m.banked.t_cas);
+  b.set("line_cycles", m.banked.line_cycles);
+  b.set("refresh_interval", m.banked.refresh_interval);
+  b.set("refresh_cycles", m.banked.refresh_cycles);
+  b.set("dma_cycles_per_line", m.banked.dma_cycles_per_line);
+  b.set("e_line", m.banked.e_line);
+  b.set("e_activate", m.banked.e_activate);
+  b.set("e_refresh", m.banked.e_refresh);
+  v.set("banked", std::move(b));
   return v;
 }
 
@@ -828,6 +950,7 @@ json::Value Scenario::to_json() const {
   doc.set("mode", to_string(mode));
   doc.set("seed", static_cast<double>(seed));
   doc.set("config", config_to_json(config));
+  doc.set("memory", memory_to_json(config.memory));
   json::Value regions_v;
   for (const auto& r : regions) {
     json::Value rv;

@@ -210,11 +210,23 @@ void walk_config(mem::SystemConfig& c, U32&& u32, F64&& f64) {
   u32(c.line_bytes), u32(c.l1_bytes), u32(c.l1_assoc), u32(c.l2_bank_bytes);
   u32(c.l2_assoc), u32(c.spm_bytes), u32(c.dma_chunk_bytes);
   u32(c.lat_l1_hit), u32(c.lat_spm_hit), u32(c.lat_l2_hit), u32(c.lat_dir);
-  u32(c.lat_filter), u32(c.lat_dram), u32(c.lat_router), u32(c.lat_link);
-  u32(c.dram_cycles_per_line);
+  u32(c.lat_filter), u32(c.memory.flat.lat_dram), u32(c.lat_router);
+  u32(c.lat_link), u32(c.memory.flat.dram_cycles_per_line);
   f64(c.e_l1_hit), f64(c.e_l1_probe), f64(c.e_spm), f64(c.e_l2);
-  f64(c.e_dir), f64(c.e_filter), f64(c.e_dram_line), f64(c.e_flit_hop);
+  f64(c.e_dir), f64(c.e_filter), f64(c.memory.flat.e_dram_line),
+      f64(c.e_flit_hop);
   f64(c.e_static_per_tile_cycle);
+}
+
+/// Banked-backend parameters in serialization order (trace version 2).
+/// Zero is legal for the t_* and refresh fields, so these stay out of the
+/// walk_config nonzero sanity sweep and get their own range check.
+template <typename U32, typename F64>
+void walk_banked(mem::BankedBackendParams& b, U32&& u32, F64&& f64) {
+  u32(b.channels), u32(b.banks_per_channel), u32(b.row_bytes);
+  u32(b.t_rp), u32(b.t_rcd), u32(b.t_cas), u32(b.line_cycles);
+  u32(b.refresh_interval), u32(b.refresh_cycles), u32(b.dma_cycles_per_line);
+  f64(b.e_line), f64(b.e_activate), f64(b.e_refresh);
 }
 
 }  // namespace
@@ -226,6 +238,10 @@ bool TraceData::write_file(const std::string& path, std::string* error) const {
   mem::SystemConfig c = config;
   walk_config(
       c, [&](unsigned v) { put_u32(buf, v); },
+      [&](double v) { put_f64(buf, v); });
+  put_u32(buf, static_cast<std::uint32_t>(c.memory.kind));
+  walk_banked(
+      c.memory.banked, [&](unsigned v) { put_u32(buf, v); },
       [&](double v) { put_f64(buf, v); });
   buf.push_back(mode == mem::HierarchyMode::hybrid ? 1 : 0);
   put_str(buf, name);
@@ -308,6 +324,27 @@ std::optional<TraceData> TraceData::read_file(const std::string& path,
       return fail("config tiles != mesh_x * mesh_y");
     if (t.config.dma_chunk_bytes % t.config.line_bytes != 0)
       return fail("config dma_chunk_bytes not a multiple of line_bytes");
+  }
+  std::uint32_t backend_kind = 0;
+  if (!rd.u32(backend_kind)) return fail(rd.err);
+  if (backend_kind > 1) return fail("bad memory backend kind");
+  t.config.memory.kind = static_cast<mem::MemBackendKind>(backend_kind);
+  walk_banked(
+      t.config.memory.banked, [&](unsigned& v) {
+        std::uint32_t x = 0;
+        ok = ok && rd.u32(x);
+        v = x;
+      },
+      [&](double& v) { ok = ok && rd.f64(v); });
+  if (!ok) return fail(rd.err);
+  {
+    const mem::BankedBackendParams& b = t.config.memory.banked;
+    if (b.channels == 0 || b.banks_per_channel == 0 || b.row_bytes == 0 ||
+        b.line_cycles == 0 || b.dma_cycles_per_line == 0)
+      return fail("banked memory field out of range (zero)");
+    if (!(b.e_line >= 0.0) || !(b.e_activate >= 0.0) ||
+        !(b.e_refresh >= 0.0))
+      return fail("banked memory energy out of range (negative)");
   }
   if (!rd.need(1, "truncated mode")) return fail(rd.err);
   const std::uint8_t mode_byte = *rd.p++;

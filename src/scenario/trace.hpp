@@ -32,7 +32,7 @@
 
 namespace raa::scen {
 
-inline constexpr std::uint32_t kTraceVersion = 1;
+inline constexpr std::uint32_t kTraceVersion = 2;
 
 /// A fully self-contained recorded run: everything System::run needs to
 /// reproduce the simulation bit-for-bit.

@@ -561,6 +561,10 @@ void expect_metrics_equal(const Metrics& a, const Metrics& b) {
   EXPECT_EQ(a.spm_hits, b.spm_hits);
   EXPECT_EQ(a.dram_line_reads, b.dram_line_reads);
   EXPECT_EQ(a.dram_line_writes, b.dram_line_writes);
+  EXPECT_EQ(a.dram_row_hits, b.dram_row_hits);
+  EXPECT_EQ(a.dram_row_misses, b.dram_row_misses);
+  EXPECT_EQ(a.dram_row_conflicts, b.dram_row_conflicts);
+  EXPECT_EQ(a.dram_refreshes, b.dram_refreshes);
   EXPECT_EQ(a.invalidations, b.invalidations);
   EXPECT_EQ(a.writebacks, b.writebacks);
   EXPECT_EQ(a.prefetch_fills, b.prefetch_fills);

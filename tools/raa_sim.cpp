@@ -10,6 +10,9 @@
 //   --mode       cache_only | hybrid | compare (compare runs both and
 //                reports the hybrid speedups; replay defaults to the
 //                trace's recorded mode and cannot use compare)
+//   --backend    flat | banked — override the DRAM timing backend the
+//                scenario (or trace) selected; banked parameters still
+//                come from the scenario's "memory" object / the trace
 //   --seed       override the scenario's seed (deterministic re-runs
 //                under a different random stream)
 //   --shards     front-end lanes per System::run (metrics are identical
@@ -86,6 +89,10 @@ void record_metrics(raa::report::BenchReport& b, const std::string& prefix,
   count("spm_hits", m.spm_hits);
   count("dram_line_reads", m.dram_line_reads);
   count("dram_line_writes", m.dram_line_writes);
+  count("dram_row_hits", m.dram_row_hits);
+  count("dram_row_misses", m.dram_row_misses);
+  count("dram_row_conflicts", m.dram_row_conflicts);
+  count("dram_refreshes", m.dram_refreshes);
   count("invalidations", m.invalidations);
   count("writebacks", m.writebacks);
   count("prefetch_fills", m.prefetch_fills);
@@ -99,10 +106,11 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s --scenario=FILE [--mode=cache_only|hybrid|compare] "
-      "[--seed=N] [--shards=N] [--record=TRACE] [--json=PATH] "
-      "[--selfcheck] [--fail-on-marker] [--quiet]\n"
-      "       %s --replay=TRACE [--mode=cache_only|hybrid] [--shards=N] "
-      "[--json=PATH] [--selfcheck] [--quiet]\n",
+      "[--backend=flat|banked] [--seed=N] [--shards=N] [--record=TRACE] "
+      "[--json=PATH] [--selfcheck] [--fail-on-marker] [--quiet]\n"
+      "       %s --replay=TRACE [--mode=cache_only|hybrid] "
+      "[--backend=flat|banked] [--shards=N] [--json=PATH] [--selfcheck] "
+      "[--quiet]\n",
       argv0, argv0);
   return 2;
 }
@@ -288,6 +296,19 @@ int main(int argc, char** argv) try {
       return 2;
     }
   }
+  if (cli.has("backend")) {
+    const std::string bs = cli.get_string("backend", "");
+    if (bs == "flat") {
+      cfg.memory.kind = raa::mem::MemBackendKind::flat;
+    } else if (bs == "banked") {
+      cfg.memory.kind = raa::mem::MemBackendKind::banked;
+    } else {
+      std::fprintf(stderr,
+                   "error: --backend must be flat or banked, got '%s'\n",
+                   bs.c_str());
+      return 2;
+    }
+  }
 
   // --- main run(s) --------------------------------------------------------
   using clock = std::chrono::steady_clock;
@@ -360,6 +381,7 @@ int main(int argc, char** argv) try {
     auto& b = run.benchmark(name, "scenario");
     b.set_param("tiles", std::to_string(cfg.tiles));
     b.set_param("shards", std::to_string(shards));
+    b.set_param("backend", raa::mem::to_string(cfg.memory.kind));
     if (replay_path.empty()) {
       b.set_param("scenario", scenario_path);
       b.set_param("mode", raa::scen::to_string(scenario.mode));
