@@ -23,6 +23,7 @@
 #include <stdexcept>
 
 #include "common/cli.hpp"
+#include "common/exit_codes.hpp"
 #include "common/table.hpp"
 #include "report/compare.hpp"
 
@@ -102,7 +103,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: bench_compare --results=PATH --baseline=PATH "
                  "[--tolerance=F] [--report-only] [--verbose]\n");
-    return 2;
+    return raa::kExitUsage;
   }
   const bool report_only = cli.get_bool("report-only", false);
   const bool verbose = cli.get_bool("verbose", false);
@@ -111,7 +112,7 @@ int main(int argc, char** argv) {
   raa::json::Value results, baseline;
   if (!load_json(results_path, results) ||
       !load_json(baseline_path, baseline))
-    return 2;
+    return raa::kExitUsage;
 
   raa::report::CompareOptions options;
   options.default_tolerance = cli.get_double("tolerance", 0.05);
@@ -121,7 +122,7 @@ int main(int argc, char** argv) {
     cmp = raa::report::compare(baseline, results, options);
   } catch (const std::runtime_error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 2;
+    return raa::kExitUsage;
   }
 
   raa::Table table{{"benchmark", "metric", "baseline", "measured", "rel",
@@ -149,5 +150,5 @@ int main(int argc, char** argv) {
       cmp.informational_skipped == 1 ? "" : "s");
   if (violations > 0 && report_only)
     std::printf("(report-only mode: not failing the build)\n");
-  return violations > 0 && !report_only ? 1 : 0;
+  return violations > 0 && !report_only ? raa::kExitFailure : raa::kExitOk;
 }

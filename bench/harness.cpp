@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "common/exit_codes.hpp"
 #include "exec/parallel.hpp"
 
 namespace raa::bench {
@@ -80,14 +81,14 @@ int harness_main(int argc, char** argv) {
 
   if (cli.get_bool("list", false)) {
     for (const auto& s : specs) std::printf("%s\n", s.name.c_str());
-    return 0;
+    return raa::kExitOk;
   }
   if (cli.get_bool("help", false)) {
     std::printf(
         "usage: %s [--reps=N] [--jobs=N] [--seed=N] [--json=PATH] "
         "[--only=NAME] [--list] [bench-specific flags]\n",
         argc > 0 ? argv[0] : "bench");
-    return 0;
+    return raa::kExitOk;
   }
 
   const std::string only = cli.get_string("only", "");
@@ -97,7 +98,7 @@ int harness_main(int argc, char** argv) {
       std::fprintf(stderr, "error: no registered benchmark named '%s'; "
                            "use --list to see the choices\n",
                    only.c_str());
-      return 2;
+      return raa::kExitUsage;
     }
   }
 
@@ -176,13 +177,13 @@ int harness_main(int argc, char** argv) {
     std::string error;
     if (!run.write_file(json_path, &error)) {
       std::fprintf(stderr, "error: %s\n", error.c_str());
-      return 1;
+      return raa::kExitFailure;
     }
     std::printf("wrote %s (%zu benchmark%s, reps=%d)\n", json_path.c_str(),
                 run.benchmarks().size(),
                 run.benchmarks().size() == 1 ? "" : "s", reps);
   }
-  return 0;
+  return raa::kExitOk;
 }
 
 }  // namespace raa::bench

@@ -3,16 +3,35 @@
 /// RAA_CHECK: precondition/invariant checking that is active in every build
 /// type (simulators must never silently continue past a broken invariant —
 /// the numbers they produce would be garbage).
+///
+/// Failures throw — never abort() — and throw a *typed* exception, so an
+/// in-process supervisor (the fleet engine, a test) can catch a poisoned
+/// run, classify it, and keep the process alive. Tools translate the
+/// exception into the exit-code taxonomy (common/exit_codes.hpp) at their
+/// outermost catch.
 
 #include <stdexcept>
 #include <string>
 
+namespace raa {
+
+/// The exception every RAA_CHECK failure throws. Derives from
+/// std::logic_error so pre-existing catch sites keep working; catching it
+/// by this type is the supported way to isolate a broken-invariant run
+/// without losing the process (see raa::fleet).
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+}  // namespace raa
+
 namespace raa::detail {
 [[noreturn]] inline void check_failed(const char* expr, const char* file,
                                       int line, const std::string& msg) {
-  throw std::logic_error(std::string{"RAA_CHECK failed: "} + expr + " at " +
-                         file + ":" + std::to_string(line) +
-                         (msg.empty() ? "" : (" — " + msg)));
+  throw CheckError(std::string{"RAA_CHECK failed: "} + expr + " at " + file +
+                   ":" + std::to_string(line) +
+                   (msg.empty() ? "" : (" — " + msg)));
 }
 }  // namespace raa::detail
 

@@ -141,4 +141,28 @@ std::exception_ptr Pool::wait_collect(Group& g) {
   return take_error(g);
 }
 
+bool Pool::wait_for(Group& g, std::chrono::nanoseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    bool done;
+    std::uint64_t seen;
+    {
+      const std::scoped_lock lock{mutex_};
+      done = g.finished >= g.submitted;
+      seen = epoch_;
+    }
+    if (done) break;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    if (run_one(&g)) continue;
+    std::unique_lock lock{mutex_};
+    // Same missed-wakeup guard as help_while: any enqueue/completion since
+    // `seen` re-tests the group instead of sleeping through its finish.
+    if (!cv_.wait_until(lock, deadline, [&] { return epoch_ != seen; }))
+      return false;
+  }
+  if (std::exception_ptr error = take_error(g))
+    std::rethrow_exception(error);
+  return true;
+}
+
 }  // namespace raa::exec

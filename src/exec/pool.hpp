@@ -19,6 +19,7 @@
 ///  * Reuse. Groups reset on wait(); a pool is submitted to repeatedly
 ///    over its lifetime (every System::run, every bench unit).
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -82,6 +83,18 @@ class Pool {
   /// wait() variant that returns the error instead of throwing (for
   /// cancellation paths that are already unwinding). Resets `g`.
   std::exception_ptr wait_collect(Group& g);
+
+  /// Deadline-aware wait(): like wait(), but gives up once `timeout` has
+  /// elapsed. Returns true when every task of `g` finished (then resets
+  /// `g` and rethrows the lowest-index error exactly like wait()); false
+  /// on expiry, leaving `g` *unreset* — the caller may keep working and
+  /// wait()/wait_for() the same group again later. Helping is
+  /// group-restricted as in wait(), and the deadline is only observed
+  /// between helped tasks: on a zero-worker pool a single long task can
+  /// overshoot it, so deadline supervisors (the fleet watchdog) should
+  /// run on a pool with workers >= 1 and pair the expiry with cooperative
+  /// cancellation of the task itself.
+  bool wait_for(Group& g, std::chrono::nanoseconds timeout);
 
   /// True once any task of `g` has finished with an exception.
   bool failed(const Group& g) const;

@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <string>
 
+#include "fleet/manifest.hpp"
 #include "fuzz/oracles.hpp"
 #include "fuzz/shrink.hpp"
 #include "memsim/linetable.hpp"
@@ -48,6 +49,55 @@ FuzzResult run_fuzz(const FuzzOptions& opt) {
   const auto out_path = [&](const std::string& file) {
     return opt.out_dir.empty() ? file : opt.out_dir + "/" + file;
   };
+
+  if (opt.emit_manifest) {
+    if (opt.out_dir.empty()) {
+      res.error = "--emit-manifest needs an output directory (--out)";
+      return res;
+    }
+    fleet::Manifest man;
+    man.name = "fuzz_s" + std::to_string(opt.seed);
+    man.seed = opt.seed;
+    for (std::uint64_t i = 0; i < opt.budget_runs; ++i) {
+      scen::Scenario s = generate_scenario(opt.seed, i, opt.limits);
+      if (opt.inject_marker) inject_marker_divergence(s);
+      const std::string file = "gen_i" + std::to_string(i) + ".json";
+      std::string io_err;
+      if (!report::write_json_file(s.to_json(), out_path(file), &io_err)) {
+        res.error = io_err;
+        break;
+      }
+      fleet::JobSpec job;
+      job.id = "gen_i" + std::to_string(i);
+      job.scenario = file;  // manifest-relative: the bundle is portable
+      // Pin the generated seed: the fleet overrides a scenario's seed with
+      // the job's, so an explicit match preserves the fuzzer's streams.
+      job.seed = s.seed;
+      man.jobs.push_back(std::move(job));
+      if (!opt.quiet)
+        std::printf("[raa_fuzz] case %llu/%llu %s: emitted %s\n",
+                    static_cast<unsigned long long>(i + 1),
+                    static_cast<unsigned long long>(opt.budget_runs),
+                    s.name.c_str(), file.c_str());
+    }
+    if (res.error.empty()) {
+      std::string io_err;
+      if (!report::write_json_file(man.to_json(),
+                                   out_path("fleet_manifest.json"), &io_err))
+        res.error = io_err;
+    }
+    json::Value& sum = res.summary;
+    sum.set("schema", report::kFuzzSchemaName);
+    sum.set("schema_version", report::kFuzzSchemaVersion);
+    sum.set("seed", static_cast<double>(opt.seed));
+    sum.set("budget_runs", static_cast<double>(opt.budget_runs));
+    sum.set("emit_manifest", true);
+    sum.set("manifest", "fleet_manifest.json");
+    sum.set("emitted", static_cast<double>(man.jobs.size()));
+    sum.set("status", res.error.empty() ? "ok" : "error");
+    if (!res.error.empty()) sum.set("error", res.error);
+    return res;
+  }
 
   OracleOptions oopt;
   oopt.shards = opt.shards;

@@ -31,6 +31,13 @@ struct FuzzOptions {
   /// and enable the marker oracle — the end-to-end shrinker/repro
   /// exercise used by tests and CI.
   bool inject_marker = false;
+  /// Instead of running the oracle battery, write every generated case to
+  /// `out_dir` as gen_i<N>.json plus a fleet manifest
+  /// (fleet_manifest.json, schema "raa-fleet-manifest") naming them all —
+  /// the fuzz-corpus -> raa_fleet bridge. Requires a non-empty out_dir;
+  /// each manifest job pins the generated scenario's own seed so the
+  /// fleet replays the exact streams the fuzzer drew.
+  bool emit_manifest = false;
   bool quiet = false;  ///< suppress per-case progress on stdout
 };
 

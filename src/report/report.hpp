@@ -27,6 +27,13 @@ inline constexpr const char* kSchemaName = "raa-bench-results";
 inline constexpr int kFuzzSchemaVersion = 1;
 inline constexpr const char* kFuzzSchemaName = "raa-fuzz-summary";
 
+/// Schema markers of the fleet artifacts (src/fleet/): the job manifest
+/// raa_fleet ingests and the merged per-run index it always writes.
+inline constexpr int kFleetManifestSchemaVersion = 1;
+inline constexpr const char* kFleetManifestSchemaName = "raa-fleet-manifest";
+inline constexpr int kFleetIndexSchemaVersion = 1;
+inline constexpr const char* kFleetIndexSchemaName = "raa-fleet-index";
+
 /// Pretty-print any JSON value to a file (trailing newline included);
 /// returns false and fills `error` on I/O failure. Shared by the fuzz
 /// summary/repro writers and ad-hoc tools so file handling lives once.

@@ -1,5 +1,6 @@
 // Tests for raa_common: PRNG determinism and distribution sanity, statistics
-// helpers, the table printer and the CLI parser.
+// helpers, the table printer, the CLI parser and the process-exit-code
+// contract.
 #include <gtest/gtest.h>
 
 #include <array>
@@ -7,6 +8,7 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/exit_codes.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -154,6 +156,25 @@ TEST(Cli, MalformedValueFallsBack) {
   const char* argv[] = {"prog", "--n=abc"};
   const raa::Cli cli{2, argv};
   EXPECT_EQ(cli.get_int("n", 9), 9);
+}
+
+TEST(ExitCodes, NumericValuesAreAFrozenContract) {
+  // Downstream scripts and the CI shell tests switch on these numbers
+  // (docs in common/exit_codes.hpp). Changing any value is a breaking
+  // change; the list is append-only.
+  EXPECT_EQ(raa::kExitOk, 0);
+  EXPECT_EQ(raa::kExitFailure, 1);
+  EXPECT_EQ(raa::kExitUsage, 2);
+  EXPECT_EQ(raa::kExitBadScenario, 3);
+  EXPECT_EQ(raa::kExitPartialFleet, 4);
+}
+
+TEST(ExitCodes, NamesMatchTheDocumentedTaxonomy) {
+  EXPECT_STREQ(raa::to_string(raa::kExitOk), "ok");
+  EXPECT_STREQ(raa::to_string(raa::kExitFailure), "failure");
+  EXPECT_STREQ(raa::to_string(raa::kExitUsage), "usage");
+  EXPECT_STREQ(raa::to_string(raa::kExitBadScenario), "bad-scenario");
+  EXPECT_STREQ(raa::to_string(raa::kExitPartialFleet), "partial-fleet");
 }
 
 }  // namespace

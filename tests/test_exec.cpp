@@ -196,6 +196,93 @@ TEST(OrderedReduce, WorksOnZeroWorkerPool) {
   EXPECT_EQ(sum, 4950);
 }
 
+TEST(PoolWaitFor, ZeroWorkerPoolHelpsInlineAndResetsGroup) {
+  // On a zero-worker pool the waiter itself must run every queued task,
+  // so a generous deadline behaves exactly like wait(): true, group reset
+  // and reusable.
+  Pool pool{0};
+  std::atomic<int> ran{0};
+  Pool::Group g;
+  for (int i = 0; i < 8; ++i) pool.submit(g, [&ran] { ++ran; });
+  EXPECT_TRUE(pool.wait_for(g, std::chrono::seconds(30)));
+  EXPECT_EQ(ran.load(), 8);
+  pool.submit(g, [&ran] { ++ran; });  // reset group is reusable
+  EXPECT_TRUE(pool.wait_for(g, std::chrono::seconds(30)));
+  EXPECT_EQ(ran.load(), 9);
+}
+
+TEST(PoolWaitFor, ExpiresOnStuckTaskThenCompletesAfterRelease) {
+  // A task pinned on a flag must make wait_for return false at the
+  // deadline without resetting the group; once the flag is released the
+  // same group completes under a plain wait(). The waiter must not call
+  // wait_for until the *worker* has adopted the task: a helping waiter
+  // that dequeued it itself would run the pinned loop inline and never
+  // reach its own deadline check.
+  Pool pool{1};
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  std::atomic<bool> ran{false};
+  Pool::Group g;
+  pool.submit(g, [&] {
+    started = true;
+    while (!release.load()) std::this_thread::sleep_for(
+        std::chrono::milliseconds(1));
+    ran = true;
+  });
+  while (!started.load())
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_FALSE(pool.wait_for(g, std::chrono::milliseconds(50)));
+  EXPECT_FALSE(ran.load());
+  release = true;
+  pool.wait(g);
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(PoolWaitFor, RethrowsLowestIndexErrorOnCompletion) {
+  // Deadline met -> identical error contract to wait(): the
+  // lowest-submission-index exception wins regardless of finish order.
+  Pool pool{0};
+  Pool::Group g;
+  pool.submit(g, [] { throw std::runtime_error("first"); });
+  pool.submit(g, [] { throw std::runtime_error("second"); });
+  try {
+    (void)pool.wait_for(g, std::chrono::seconds(30));
+    FAIL() << "expected the first task's exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+}
+
+TEST(PoolShutdown, DropsPendingTasksOnZeroWorkerPool) {
+  // Destroying a pool with tasks still queued (a violated Group contract)
+  // must drop them unrun — deterministically observable on a zero-worker
+  // pool, where nothing else could possibly run them.
+  std::atomic<int> ran{0};
+  Pool::Group g;  // outlives the pool on purpose
+  {
+    Pool pool{0};
+    for (int i = 0; i < 16; ++i) pool.submit(g, [&ran] { ++ran; });
+  }
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(PoolShutdown, JoinsWorkersWithJobsStillQueued) {
+  // Shutdown racing a half-drained queue: the dtor must stop and join the
+  // workers without running the whole backlog or deadlocking. Counts are
+  // loose by design — TSan value is the clean teardown, not a number.
+  std::atomic<int> ran{0};
+  Pool::Group g;
+  {
+    Pool pool{2};
+    for (int i = 0; i < 64; ++i)
+      pool.submit(g, [&ran] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ++ran;
+      });
+  }
+  EXPECT_LE(ran.load(), 64);
+}
+
 TEST(PoolTest, HelpWhileRunsTasksUntilConditionFlips) {
   // help_while on a zero-worker pool must run the queued task that flips
   // the condition (this is exactly how the sharded memsim commit loop

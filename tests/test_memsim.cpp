@@ -5,8 +5,10 @@
 // the value of the last store).
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/rng.hpp"
 #include "exec/pool.hpp"
 #include "kernels/program.hpp"
@@ -692,6 +694,29 @@ TEST(ShardedRun, PropagatesProtocolViolations) {
   System sys{cfg, HierarchyMode::hybrid};
   EXPECT_THROW(sys.run(w, raa::mem::RunOptions{.shards = 4}),
                std::logic_error);
+}
+
+TEST(System, CheckFailureIsCatchableAsTypedCheckError) {
+  // The robustness contract the fleet engine is built on: a RAA_CHECK
+  // failure inside System::run must surface as raa::CheckError — a typed,
+  // catchable exception — never an abort(). The wrong-program-count check
+  // in begin_run is the cheapest deterministic trigger.
+  const SystemConfig cfg = small_cfg();
+  Workload w;
+  w.name = "undersized";  // no programs at all, cfg.tiles expected
+  System sys{cfg, HierarchyMode::hybrid};
+  try {
+    sys.run(w);
+    FAIL() << "expected RAA_CHECK to throw";
+  } catch (const raa::CheckError& e) {
+    EXPECT_NE(std::string{e.what()}.find("one program per tile"),
+              std::string::npos);
+  }
+  // CheckError derives from std::logic_error, so pre-existing catch
+  // sites (e.g. PropagatesProtocolViolations above) keep working.
+  Workload w2;
+  System sys2{cfg, HierarchyMode::cache_only};
+  EXPECT_THROW(sys2.run(w2), std::logic_error);
 }
 
 TEST(System, DeterministicMetrics) {

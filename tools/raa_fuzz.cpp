@@ -21,6 +21,10 @@
 //   --inject-divergence  graft the synthetic __diverge_marker divergence
 //                     onto every case and enable the marker oracle — the
 //                     end-to-end shrink/repro exercise (tests, CI)
+//   --emit-manifest   skip the oracle battery: write every generated case
+//                     to --out as gen_i<N>.json plus a fleet manifest
+//                     (fleet_manifest.json) naming them all, ready for
+//                     raa_fleet --manifest (requires --out)
 //
 // Exit codes: 0 all cases clean, 1 divergence found (repros written) or
 // artifact I/O failure, 2 bad usage.
@@ -29,6 +33,7 @@
 #include <string>
 
 #include "common/cli.hpp"
+#include "common/exit_codes.hpp"
 #include "fuzz/fuzz.hpp"
 #include "report/report.hpp"
 
@@ -38,9 +43,9 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --seed=S --budget-runs=N [--shards=N] [--out=DIR] "
                "[--json=PATH] [--max-accesses=N] [--inject-divergence] "
-               "[--quiet]\n",
+               "[--emit-manifest] [--quiet]\n",
                argv0);
-  return 2;
+  return raa::kExitUsage;
 }
 
 }  // namespace
@@ -49,7 +54,7 @@ int main(int argc, char** argv) try {
   const raa::Cli cli{argc, argv};
   if (cli.get_bool("help", false)) {
     usage(argv[0]);
-    return 0;
+    return raa::kExitOk;
   }
 
   raa::fuzz::FuzzOptions opt;
@@ -71,7 +76,12 @@ int main(int argc, char** argv) try {
   opt.limits.max_accesses = static_cast<std::uint64_t>(max_accesses);
   opt.out_dir = cli.get_string("out", "");
   opt.inject_marker = cli.get_bool("inject-divergence", false);
+  opt.emit_manifest = cli.get_bool("emit-manifest", false);
   opt.quiet = cli.get_bool("quiet", false);
+  if (opt.emit_manifest && opt.out_dir.empty()) {
+    std::fprintf(stderr, "error: --emit-manifest needs --out=DIR\n");
+    return usage(argv[0]);
+  }
 
   const raa::fuzz::FuzzResult res = raa::fuzz::run_fuzz(opt);
 
@@ -80,20 +90,27 @@ int main(int argc, char** argv) try {
     std::string err;
     if (!raa::report::write_json_file(res.summary, json_path, &err)) {
       std::fprintf(stderr, "error: %s\n", err.c_str());
-      return 1;
+      return raa::kExitFailure;
     }
     if (!opt.quiet) std::printf("wrote %s\n", json_path.c_str());
   }
   if (!res.error.empty()) {
     std::fprintf(stderr, "error: %s\n", res.error.c_str());
-    return 1;
+    return raa::kExitFailure;
   }
-  std::printf("raa_fuzz: seed=%llu budget=%llu -> %u divergence(s)\n",
-              static_cast<unsigned long long>(opt.seed),
-              static_cast<unsigned long long>(opt.budget_runs),
-              res.divergences);
-  return res.divergences == 0 ? 0 : 1;
+  if (opt.emit_manifest)
+    std::printf("raa_fuzz: seed=%llu emitted %llu scenario(s) + "
+                "fleet_manifest.json to %s\n",
+                static_cast<unsigned long long>(opt.seed),
+                static_cast<unsigned long long>(opt.budget_runs),
+                opt.out_dir.c_str());
+  else
+    std::printf("raa_fuzz: seed=%llu budget=%llu -> %u divergence(s)\n",
+                static_cast<unsigned long long>(opt.seed),
+                static_cast<unsigned long long>(opt.budget_runs),
+                res.divergences);
+  return res.divergences == 0 ? raa::kExitOk : raa::kExitFailure;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());
-  return 1;
+  return raa::kExitFailure;
 }

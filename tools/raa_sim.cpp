@@ -29,10 +29,11 @@
 //                synthetic divergence the shrinker tests inject), so a
 //                shrunken repro can be shown to reproduce end to end
 //
-// Exit codes: 0 ok, 1 simulation/selfcheck/write failure, 2 bad usage or
-// unparseable input (matching bench_compare's convention), 3 degenerate
-// scenario (a region claimed by zero cores — parseable, but simulating it
-// silently skews the address-space layout for no workload effect).
+// Exit codes (src/common/exit_codes.hpp — shared by every tool): 0 ok,
+// 1 simulation/selfcheck/write failure, 2 bad usage or unparseable input,
+// 3 degenerate scenario (a region claimed by zero cores — parseable, but
+// simulating it silently skews the address-space layout for no workload
+// effect).
 
 #include <algorithm>
 #include <chrono>
@@ -46,7 +47,9 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/exit_codes.hpp"
 #include "common/table.hpp"
+#include "fleet/job.hpp"  // record_metrics — shared with the fleet engine
 #include "fuzz/genscenario.hpp"  // kMarkerRegionName (header-only use)
 #include "memsim/system.hpp"
 #include "report/report.hpp"
@@ -73,35 +76,6 @@ Metrics run_once(const SystemConfig& cfg, HierarchyMode mode, Workload& w,
   return sys.run(w, raa::mem::RunOptions{.shards = shards});
 }
 
-void record_metrics(raa::report::BenchReport& b, const std::string& prefix,
-                    const Metrics& m) {
-  b.record(prefix + "cycles", m.cycles, "cycles");
-  b.record(prefix + "energy_pj", m.energy_pj(), "pJ");
-  b.record(prefix + "noc_flit_hops", m.noc_flit_hops, "flit-hops");
-  const auto count = [&](const char* name, std::uint64_t v) {
-    b.record(prefix + name, static_cast<double>(v), "count");
-  };
-  count("accesses", m.accesses);
-  count("l1_hits", m.l1_hits);
-  count("l1_misses", m.l1_misses);
-  count("l2_hits", m.l2_hits);
-  count("l2_misses", m.l2_misses);
-  count("spm_hits", m.spm_hits);
-  count("dram_line_reads", m.dram_line_reads);
-  count("dram_line_writes", m.dram_line_writes);
-  count("dram_row_hits", m.dram_row_hits);
-  count("dram_row_misses", m.dram_row_misses);
-  count("dram_row_conflicts", m.dram_row_conflicts);
-  count("dram_refreshes", m.dram_refreshes);
-  count("invalidations", m.invalidations);
-  count("writebacks", m.writebacks);
-  count("prefetch_fills", m.prefetch_fills);
-  count("dma_transfers", m.dma_transfers);
-  count("guarded_lookups", m.guarded_lookups);
-  count("guarded_to_spm", m.guarded_to_spm);
-  count("remote_spm_accesses", m.remote_spm_accesses);
-}
-
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
@@ -112,7 +86,7 @@ int usage(const char* argv0) {
       "[--backend=flat|banked] [--shards=N] [--json=PATH] [--selfcheck] "
       "[--quiet]\n",
       argv0, argv0);
-  return 2;
+  return raa::kExitUsage;
 }
 
 /// Verify the shards=1 vs shards=4 and record->replay contracts for one
@@ -187,7 +161,7 @@ int main(int argc, char** argv) try {
   const raa::Cli cli{argc, argv};
   if (cli.get_bool("help", false)) {
     usage(argv[0]);
-    return 0;
+    return raa::kExitOk;
   }
 
   const std::string scenario_path = cli.get_string("scenario", "");
@@ -223,7 +197,7 @@ int main(int argc, char** argv) try {
     auto t = TraceData::read_file(replay_path, &error);
     if (!t) {
       std::fprintf(stderr, "error: %s\n", error.c_str());
-      return 2;
+      return raa::kExitUsage;
     }
     trace = std::make_shared<const TraceData>(std::move(*t));
     cfg = trace->config;
@@ -237,7 +211,7 @@ int main(int argc, char** argv) try {
         std::fprintf(stderr, "error: --mode for --replay must be "
                              "cache_only or hybrid, got '%s'\n",
                      ms.c_str());
-        return 2;
+        return raa::kExitUsage;
       }
     }
     modes = {mode};
@@ -247,7 +221,7 @@ int main(int argc, char** argv) try {
     auto s = Scenario::load_file(scenario_path, &error);
     if (!s) {
       std::fprintf(stderr, "error: %s\n", error.c_str());
-      return 2;
+      return raa::kExitUsage;
     }
     scenario = std::move(*s);
     if (cli.has("seed"))
@@ -258,7 +232,7 @@ int main(int argc, char** argv) try {
       if (!m) {
         std::fprintf(stderr, "error: --mode must be cache_only, hybrid or "
                              "compare\n");
-        return 2;
+        return raa::kExitUsage;
       }
       scenario.mode = *m;
     }
@@ -273,7 +247,7 @@ int main(int argc, char** argv) try {
                    "cores)\n",
                    scenario_path.c_str(), *unref,
                    scenario.regions[*unref].name.c_str());
-      return 3;
+      return raa::kExitBadScenario;
     }
     if (cli.get_bool("fail-on-marker", false)) {
       for (const auto& r : scenario.regions)
@@ -282,7 +256,7 @@ int main(int argc, char** argv) try {
                        "marker divergence reproduced: region '%s' present "
                        "in %s\n",
                        r.name.c_str(), scenario_path.c_str());
-          return 1;
+          return raa::kExitFailure;
         }
     }
     cfg = scenario.config;
@@ -293,7 +267,7 @@ int main(int argc, char** argv) try {
       std::fprintf(stderr,
                    "error: --record needs a single concrete mode; pass "
                    "--mode=cache_only or --mode=hybrid\n");
-      return 2;
+      return raa::kExitUsage;
     }
   }
   if (cli.has("backend")) {
@@ -306,7 +280,7 @@ int main(int argc, char** argv) try {
       std::fprintf(stderr,
                    "error: --backend must be flat or banked, got '%s'\n",
                    bs.c_str());
-      return 2;
+      return raa::kExitUsage;
     }
   }
 
@@ -328,7 +302,7 @@ int main(int argc, char** argv) try {
     std::string error;
     if (!recorded.write_file(record_path, &error)) {
       std::fprintf(stderr, "error: %s\n", error.c_str());
-      return 1;
+      return raa::kExitFailure;
     }
     std::printf("recorded %s (%zu cores, %llu accesses)\n",
                 record_path.c_str(), recorded.cores.size(),
@@ -368,7 +342,7 @@ int main(int argc, char** argv) try {
       ok = selfcheck_mode(cfg, mode, make_workload,
                           /*check_replay=*/replay_path.empty()) &&
            ok;
-    if (!ok) return 1;
+    if (!ok) return raa::kExitFailure;
     std::printf("selfcheck OK: shards=1 == shards=4%s for %zu mode%s\n",
                 replay_path.empty() ? " == trace replay" : "", modes.size(),
                 modes.size() == 1 ? "" : "s");
@@ -391,7 +365,8 @@ int main(int argc, char** argv) try {
       b.set_param("mode", mode_name(modes[0]));
     }
     for (std::size_t i = 0; i < modes.size(); ++i)
-      record_metrics(b, std::string{mode_name(modes[i])} + "/", results[i]);
+      raa::fleet::record_metrics(
+          b, std::string{mode_name(modes[i])} + "/", results[i]);
     if (modes.size() == 2) {
       b.record("time_x", results[0].cycles / results[1].cycles, "x");
       b.record("energy_x", results[0].energy_pj() / results[1].energy_pj(),
@@ -400,10 +375,11 @@ int main(int argc, char** argv) try {
                results[0].noc_flit_hops / results[1].noc_flit_hops, "x");
     }
     b.record_info("wall_seconds", wall, "s");
-    if (!write_and_validate_json(run, json_path)) return 1;
+    if (!write_and_validate_json(run, json_path))
+      return raa::kExitFailure;
   }
-  return 0;
+  return raa::kExitOk;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());
-  return 1;
+  return raa::kExitFailure;
 }
