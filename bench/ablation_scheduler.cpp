@@ -5,12 +5,15 @@
 //
 // Flags: --scale=1 (graph-size multiplier for larger scenarios; plus the
 // harness flags, see bench/harness.hpp)
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 
 #include "common/table.hpp"
 #include "harness.hpp"
 #include "runtime/graph.hpp"
+#include "runtime/runtime.hpp"
 #include "simcore/tdg_sim.hpp"
 
 RAA_BENCHMARK("ablation_scheduler", "§3.1 scheduling-policy ablation") {
@@ -71,5 +74,43 @@ RAA_BENCHMARK("ablation_scheduler", "§3.1 scheduling-policy ablation") {
         "\nvalues > 1: criticality-ordered scheduling alone already "
         "shortens the makespan; DVFS boosting (fig2 bench) stacks on "
         "top.\n");
+  }
+
+  // --- micro_steal_throughput (informational) ---------------------------
+  // Host throughput of the work-stealing executor underneath the runtime:
+  // spawn a storm of tiny tasks and time the drain. Recorded with
+  // record_info — host wall-clock numbers are machine-dependent by nature
+  // and must never gate; the simulated makespan_ratio metrics above are
+  // the gated ones and are independent of host scheduling by
+  // construction (see docs/ARCHITECTURE.md, "Why simulated metrics
+  // cannot move").
+  {
+    const unsigned host_workers = 4;
+    const int storm = static_cast<int>(2048 * scale);
+    ctx.report.set_param("host_workers", std::to_string(host_workers));
+    const auto t0 = std::chrono::steady_clock::now();
+    raa::rt::Runtime rt{{.num_workers = host_workers}};
+    std::atomic<std::uint64_t> sink{0};
+    for (int i = 0; i < storm; ++i)
+      rt.spawn([&] { sink.fetch_add(1, std::memory_order_relaxed); });
+    rt.taskwait();
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const auto stats = rt.stats();
+    ctx.report.record_info("host_tasks_per_second",
+                           static_cast<double>(stats.tasks_executed) /
+                               std::max(secs, 1e-9),
+                           "tasks/s");
+    ctx.report.record_info("host_steal_count",
+                           static_cast<double>(stats.steals), "steals");
+    if (ctx.printing())
+      std::printf(
+          "\nhost executor (informational): %llu tasks on %u workers, "
+          "%.3g tasks/s, %llu steals\n",
+          static_cast<unsigned long long>(stats.tasks_executed),
+          host_workers,
+          static_cast<double>(stats.tasks_executed) / std::max(secs, 1e-9),
+          static_cast<unsigned long long>(stats.steals));
   }
 }

@@ -9,9 +9,11 @@
 // Flags:
 //   --filter=SUB     run only benchmarks whose name contains SUB
 //   --min-time=S     per-benchmark target measurement time (default 0.25)
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -93,6 +95,58 @@ int main(int argc, char** argv) {
                      [] {});
           rt.taskwait();
         }));
+  }
+
+  // --- micro_steal_throughput -------------------------------------------
+  // Host throughput of the work-stealing executor: wall-clock only,
+  // informational — simulated metrics never depend on these numbers.
+
+  if (wants("BM_StealSpawnStorm")) {
+    // A storm of independent tasks spawned from the main thread: measures
+    // injection, wakeup, deque churn and steal traffic across policies.
+    constexpr int kTasks = 2048;
+    for (const auto policy : {raa::rt::SchedulerPolicy::work_stealing,
+                              raa::rt::SchedulerPolicy::fifo}) {
+      for (const unsigned workers : {2u, 4u}) {
+        const std::string name = std::string{"BM_StealSpawnStorm/"} +
+                                 to_string(policy) + "/w" +
+                                 std::to_string(workers);
+        results.push_back(run_case(name, kTasks, min_time, [=] {
+          raa::rt::Runtime rt{{.num_workers = workers, .policy = policy}};
+          std::atomic<std::uint64_t> sink{0};
+          for (int i = 0; i < kTasks; ++i)
+            rt.spawn([&] { sink.fetch_add(1, std::memory_order_relaxed); });
+          rt.taskwait();
+          do_not_optimize(sink);
+        }));
+      }
+    }
+  }
+
+  if (wants("BM_StealNestedFib")) {
+    // Recursive nested spawn (silent_async + corun): owner-deque pushes
+    // and cooperative joins, the divide-and-conquer shape.
+    constexpr unsigned kN = 15;  // ~1970 tasks per iteration
+    std::function<std::uint64_t(raa::rt::Runtime&, unsigned)> fib =
+        [&fib](raa::rt::Runtime& rt, unsigned n) -> std::uint64_t {
+      if (n < 2) return n;
+      std::uint64_t a = 0, b = 0;
+      rt.silent_async([&] { a = fib(rt, n - 1); });
+      rt.silent_async([&] { b = fib(rt, n - 2); });
+      rt.corun();
+      return a + b;
+    };
+    for (const unsigned workers : {0u, 4u}) {
+      const std::string name =
+          "BM_StealNestedFib/15/w" + std::to_string(workers);
+      results.push_back(run_case(name, 1973, min_time, [&, workers] {
+        raa::rt::Runtime rt{{.num_workers = workers}};
+        std::uint64_t r = 0;
+        rt.spawn([&] { r = fib(rt, kN); });
+        rt.taskwait();
+        do_not_optimize(r);
+      }));
+    }
   }
 
   if (wants("BM_MemsimAccessThroughput")) {

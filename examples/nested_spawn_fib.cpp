@@ -1,0 +1,59 @@
+// Nested parallelism: recursive fibonacci with silent_async() + corun().
+//
+// Unlike quickstart.cpp, the task graph here is not known up front — each
+// task *discovers* its children while running and joins them cooperatively
+// (the joining worker runs or steals other ready tasks instead of
+// blocking, so a handful of workers can drive thousands of nested tasks
+// without deadlock). This is the divide-and-conquer shape the
+// work-stealing executor exists for: every silent_async() from a worker
+// lands in that worker's own deque (LIFO, cache-hot), and idle workers
+// steal from the opposite end.
+//
+// Self-checking: exits non-zero if the parallel result disagrees with the
+// sequential one.
+#include <cstdio>
+#include <cstdint>
+
+#include "runtime/runtime.hpp"
+
+namespace {
+
+std::uint64_t fib_seq(unsigned n) {
+  return n < 2 ? n : fib_seq(n - 1) + fib_seq(n - 2);
+}
+
+std::uint64_t fib_par(raa::rt::Runtime& rt, unsigned n) {
+  if (n < 2) return n;
+  std::uint64_t left = 0;
+  std::uint64_t right = 0;
+  rt.silent_async([&rt, &left, n] { left = fib_par(rt, n - 1); });
+  rt.silent_async([&rt, &right, n] { right = fib_par(rt, n - 2); });
+  rt.corun();  // run/steal until both children (and their subtrees) finish
+  return left + right;
+}
+
+}  // namespace
+
+int main() {
+  const unsigned n = 18;
+  raa::rt::Runtime rt{{.num_workers = 3}};
+
+  std::uint64_t result = 0;
+  // The root body runs on a worker; everything below it is nested spawn.
+  rt.spawn([&] { result = fib_par(rt, n); }, {.label = "fib_root"});
+  rt.taskwait();
+
+  const std::uint64_t expect = fib_seq(n);
+  const auto stats = rt.stats();
+  std::printf("fib(%u) = %llu (expected %llu)\n", n,
+              static_cast<unsigned long long>(result),
+              static_cast<unsigned long long>(expect));
+  std::printf("tasks executed: %llu, steals: %llu\n",
+              static_cast<unsigned long long>(stats.tasks_executed),
+              static_cast<unsigned long long>(stats.steals));
+  if (result != expect) {
+    std::fprintf(stderr, "FAIL: nested-spawn result mismatch\n");
+    return 1;
+  }
+  return 0;
+}

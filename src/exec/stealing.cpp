@@ -1,0 +1,173 @@
+#include "exec/stealing.hpp"
+
+#include <thread>
+
+#include "common/check.hpp"
+
+namespace raa::exec {
+
+namespace {
+/// Owner identity of the current thread: set for the lifetime of a
+/// worker_loop, so submit() can prove an owner-deque push is legal and
+/// current_worker() can answer without a map lookup.
+thread_local const StealingExecutor* t_exec = nullptr;
+thread_local unsigned t_worker = 0;
+
+/// Failed-acquire yields before a worker parks on the notifier. Short:
+/// parking is cheap (one mutex + condvar) and the single-hardware-thread
+/// CI container punishes spinning hard.
+constexpr int kYieldRounds = 16;
+}  // namespace
+
+StealingExecutor::StealingExecutor(Options options, RunFn run, PollFn poll)
+    : options_(options), run_(std::move(run)), poll_(std::move(poll)) {
+  RAA_CHECK(run_ != nullptr);
+  const unsigned n = options_.num_workers;
+  if (options_.steal_rounds == 0) options_.steal_rounds = 1;
+  deques_.reserve(n);
+  rng_.reserve(n);
+  std::uint64_t sm = options_.seed;
+  for (unsigned w = 0; w < n; ++w) {
+    deques_.push_back(std::make_unique<WorkStealingDeque<void*>>());
+    rng_.emplace_back(splitmix64(sm));  // deterministic per-worker stream
+  }
+  steals_ = std::make_unique<std::atomic<std::uint64_t>[]>(n + 1);
+  for (unsigned w = 0; w <= n; ++w)
+    steals_[w].store(0, std::memory_order_relaxed);
+  try {
+    pool_.start(n, [this](std::stop_token stop, unsigned w) {
+      worker_loop(stop, w);
+    });
+  } catch (...) {
+    // Thread exhaustion mid-start: wake the workers that did start so
+    // their parked commit_wait observes the stop, then join.
+    pool_.request_stop();
+    notifier_.notify_all();
+    pool_.join();
+    throw;
+  }
+}
+
+StealingExecutor::~StealingExecutor() { shutdown(); }
+
+void StealingExecutor::shutdown() {
+  pool_.request_stop();
+  notifier_.notify_all();
+  pool_.join();
+}
+
+unsigned StealingExecutor::current_worker() const noexcept {
+  return t_exec == this ? t_worker : options_.num_workers;
+}
+
+void StealingExecutor::submit(void* item, unsigned hint) {
+  RAA_CHECK(item != nullptr);
+  if (hint < options_.num_workers && t_exec == this && t_worker == hint) {
+    deques_[hint]->push(item);  // owner push: lock-free fast path
+  } else {
+    const std::scoped_lock lock{inject_mutex_};
+    injected_.push_back(item);
+  }
+  notifier_.notify_one();
+}
+
+void* StealingExecutor::pop_injected(bool lifo) {
+  const std::scoped_lock lock{inject_mutex_};
+  if (injected_.empty()) return nullptr;
+  void* item = lifo ? injected_.back() : injected_.front();
+  if (lifo)
+    injected_.pop_back();
+  else
+    injected_.pop_front();
+  return item;
+}
+
+void* StealingExecutor::try_pop(unsigned worker) {
+  const unsigned n = options_.num_workers;
+  const unsigned self = worker <= n ? worker : n;
+  if (self < n) {
+    if (void* item = deques_[self]->pop()) return item;
+  } else if (void* item = pop_injected(/*lifo=*/true)) {
+    return item;
+  }
+  if (void* item = steal_sweep(self)) return item;
+  if (poll_ != nullptr) return poll_(self);
+  return nullptr;
+}
+
+void* StealingExecutor::steal_sweep(unsigned self) {
+  const unsigned n = options_.num_workers;
+  // Victim space: the n worker deques plus the injection queue as victim
+  // index n (stolen FIFO — oldest external submission first).
+  const unsigned victims = n + 1;
+  for (unsigned round = 0; round < options_.steal_rounds; ++round) {
+    // Randomized start breaks convoys. Workers draw from their own
+    // deterministic stream; external threads share a rotating counter
+    // (their victim order is not part of any determinism contract).
+    unsigned start = 0;
+    if (self < n)
+      start = static_cast<unsigned>(rng_[self].below(victims));
+    else
+      start = static_cast<unsigned>(
+          ext_start_.fetch_add(1, std::memory_order_relaxed) % victims);
+    for (unsigned k = 0; k < victims; ++k) {
+      const unsigned v = (start + k) % victims;
+      if (v == self) continue;
+      void* item = v < n ? deques_[v]->steal()
+                         : pop_injected(/*lifo=*/false);
+      if (item != nullptr) {
+        steals_[self].fetch_add(1, std::memory_order_relaxed);
+        return item;
+      }
+    }
+  }
+  return nullptr;
+}
+
+std::uint64_t StealingExecutor::steal_count() const noexcept {
+  std::uint64_t total = 0;
+  for (unsigned w = 0; w <= options_.num_workers; ++w)
+    total += steals_[w].load(std::memory_order_relaxed);
+  return total;
+}
+
+void StealingExecutor::worker_loop(std::stop_token stop, unsigned w) {
+  t_exec = this;
+  t_worker = w;
+  while (!stop.stop_requested()) {
+    if (void* item = try_pop(w)) {
+      run_(item, w);
+      continue;
+    }
+    // Brief yield backoff: absorbs the push-right-after-empty-check
+    // window without the full park/unpark round trip.
+    void* item = nullptr;
+    for (int i = 0; i < kYieldRounds && item == nullptr; ++i) {
+      std::this_thread::yield();
+      item = try_pop(w);
+    }
+    if (item != nullptr) {
+      run_(item, w);
+      continue;
+    }
+    // Two-phase park. The stop re-check sits after prepare_wait():
+    // shutdown() requests the stop *before* notify_all(), so either we
+    // read the flag here, or our epoch ticket predates the bump and
+    // commit_wait() returns immediately.
+    const std::uint64_t epoch = notifier_.prepare_wait();
+    if (stop.stop_requested()) {
+      notifier_.cancel_wait();
+      break;
+    }
+    item = try_pop(w);
+    if (item != nullptr) {
+      notifier_.cancel_wait();
+      run_(item, w);
+      continue;
+    }
+    notifier_.commit_wait(epoch);
+  }
+  t_exec = nullptr;
+}
+
+}  // namespace raa::exec

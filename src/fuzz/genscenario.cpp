@@ -184,16 +184,57 @@ ProgramSpec draw_pointer_chase(Rng& rng, const std::vector<RegionSpec>& regions,
   return p;
 }
 
+/// May `out` serve as the output grid of a stencil whose input grid has
+/// `in_bpc` bytes per core? Beyond being at least as large per core, a
+/// strided (SPM-tiled) output must not let chunk mappings collide:
+///  * out != in: core c writes output bytes [c*in_bpc, (c+1)*in_bpc), so
+///    the span must be a whole number of DMA chunks or two cores end up
+///    SPM-mapping the same chunk (the System's spm_mapped conflict check
+///    aborts the run);
+///  * out == in: the tap loads and the element writes interleave on the
+///    same per-region chunk stream. At an interior chunk boundary the
+///    taps pull the next chunk in, and the write behind them re-maps the
+///    previous chunk by store write-allocate (no DMA fetch) — the next
+///    tap load of an unwritten line in it trips the System's spm_valid
+///    check. Only a single-chunk slice (taps can never cross a chunk
+///    boundary inside the slice; cross-slice taps are guarded) is safe.
+bool stencil_out_ok(const RegionSpec& out, std::uint64_t in_bpc, bool self,
+                    const mem::SystemConfig& cfg) {
+  if (out.bytes_per_core < in_bpc) return false;
+  if (out.ref != mem::RefClass::strided) return true;
+  if (self) return in_bpc <= cfg.dma_chunk_bytes;
+  return in_bpc % cfg.dma_chunk_bytes == 0;
+}
+
+/// Input-grid candidates that admit at least one legal output grid —
+/// draw_stencil must only pick from these (and the stencil kind is only
+/// offered when this is non-empty).
+std::vector<std::size_t> stencil_ins(const std::vector<RegionSpec>& regions,
+                                     const std::vector<std::size_t>& bpc,
+                                     const mem::SystemConfig& cfg) {
+  std::vector<std::size_t> ins;
+  for (const std::size_t i : bpc)
+    for (const std::size_t j : bpc)
+      if (stencil_out_ok(regions[j], regions[i].bytes_per_core, i == j,
+                         cfg)) {
+        ins.push_back(i);
+        break;
+      }
+  return ins;
+}
+
 ProgramSpec draw_stencil(Rng& rng, const std::vector<RegionSpec>& regions,
                          const std::vector<std::size_t>& bpc,
+                         const std::vector<std::size_t>& ins,
+                         const mem::SystemConfig& cfg,
                          const GenLimits& limits) {
   ProgramSpec p;
   p.kind = GenKind::stencil;
-  p.region = bpc[rng.below(bpc.size())];
-  // Output grid must be at least as large per core as the input grid.
+  p.region = ins[rng.below(ins.size())];
+  const std::uint64_t in_bpc = regions[p.region].bytes_per_core;
   std::vector<std::size_t> outs;
   for (const std::size_t i : bpc)
-    if (regions[i].bytes_per_core >= regions[p.region].bytes_per_core)
+    if (stencil_out_ok(regions[i], in_bpc, i == p.region, cfg))
       outs.push_back(i);
   p.out_region = outs[rng.below(outs.size())];
   p.halo = 1 + rng.below(2);
@@ -318,6 +359,8 @@ scen::Scenario generate_scenario(std::uint64_t seed, std::uint64_t index,
     auto& b = cfg.memory.banked;
     b.channels = pick<unsigned>(rng, {1, 2, 4});
     b.banks_per_channel = pick<unsigned>(rng, {2, 4, 8});
+    b.mapping = rng.chance(0.5) ? mem::BankMapping::xor_hash
+                                : mem::BankMapping::block;
     b.row_bytes = pick<unsigned>(rng, {1024, 2048, 4096});
     b.t_rp = pick<unsigned>(rng, {20, 40});
     b.t_rcd = pick<unsigned>(rng, {20, 40});
@@ -330,6 +373,7 @@ scen::Scenario generate_scenario(std::uint64_t seed, std::uint64_t index,
 
   s.regions = draw_regions(rng, cfg);
   const std::vector<std::size_t> bpc = per_core_regions(s.regions);
+  const std::vector<std::size_t> sins = stencil_ins(s.regions, bpc, cfg);
 
   // Partition a shuffled core list among the programs; optionally leave a
   // tail of cores idle.
@@ -350,7 +394,7 @@ scen::Scenario generate_scenario(std::uint64_t seed, std::uint64_t index,
     std::vector<GenKind> kinds{GenKind::scripted, GenKind::zipf,
                                GenKind::pointer_chase, GenKind::bursty};
     if (!bpc.empty()) {
-      kinds.push_back(GenKind::stencil);
+      if (!sins.empty()) kinds.push_back(GenKind::stencil);
       kinds.push_back(GenKind::producer_consumer);
     }
     ProgramSpec p;
@@ -365,7 +409,7 @@ scen::Scenario generate_scenario(std::uint64_t seed, std::uint64_t index,
         p = draw_pointer_chase(rng, s.regions, limits);
         break;
       case GenKind::stencil:
-        p = draw_stencil(rng, s.regions, bpc, limits);
+        p = draw_stencil(rng, s.regions, bpc, sins, cfg, limits);
         break;
       case GenKind::producer_consumer:
         p = draw_producer_consumer(rng, s.regions, bpc, limits);

@@ -14,6 +14,14 @@ const char* to_string(MemBackendKind kind) noexcept {
   return "?";
 }
 
+const char* to_string(BankMapping mapping) noexcept {
+  switch (mapping) {
+    case BankMapping::block: return "block";
+    case BankMapping::xor_hash: return "xor";
+  }
+  return "?";
+}
+
 std::unique_ptr<MemBackend> make_backend(const SystemConfig& config) {
   switch (config.memory.kind) {
     case MemBackendKind::flat:
@@ -85,9 +93,14 @@ void BankedBackend::enqueue(const LineReq& req) {
   Pending pend;
   pend.req = req;
   pend.seq = seq_++;
-  pend.bank = static_cast<unsigned>((block / p_.channels) %
-                                    p_.banks_per_channel);
-  pend.row = block / p_.channels / p_.banks_per_channel;
+  const std::uint64_t within = block / p_.channels;
+  pend.row = within / p_.banks_per_channel;
+  // XOR bank hash: fold the row bits into the bank index so a stride
+  // that advances exactly banks_per_channel row-blocks (and would camp
+  // on one bank, row-conflicting forever) rotates across banks instead.
+  const std::uint64_t bank_bits =
+      p_.mapping == BankMapping::xor_hash ? (within ^ pend.row) : within;
+  pend.bank = static_cast<unsigned>(bank_bits % p_.banks_per_channel);
   ch.queue.push_back(pend);
   ++pending_;
 }

@@ -198,6 +198,7 @@ class BankedBackend final : public MemBackend {
 };
 
 const char* to_string(MemBackendKind kind) noexcept;
+const char* to_string(BankMapping mapping) noexcept;
 
 /// Instantiate the backend selected by `config.memory`.
 std::unique_ptr<MemBackend> make_backend(const SystemConfig& config);

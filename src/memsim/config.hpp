@@ -39,6 +39,13 @@ struct FlatBackendParams {
                          const FlatBackendParams&) = default;
 };
 
+/// How a row block is mapped to a bank within its channel.
+enum class BankMapping : std::uint8_t {
+  block,     ///< bank = (block / channels) % banks — plain interleave
+  xor_hash,  ///< bank index XOR-folded with the row — spreads strided
+             ///< streams whose stride aliases the bank count ("xor")
+};
+
 /// Parameters of the banked model. Timings are DDR-class in core cycles:
 /// a row hit costs t_cas + line_cycles, an activate-on-closed-bank adds
 /// t_rcd, a row conflict adds a precharge (t_rp) on top — so with the
@@ -47,6 +54,10 @@ struct FlatBackendParams {
 struct BankedBackendParams {
   unsigned channels = 2;          ///< independent channels per controller
   unsigned banks_per_channel = 8;
+  /// Address-to-bank hash. `block` keeps the original interleave (and the
+  /// pre-mapping baseline numbers); `xor_hash` folds the row bits in, the
+  /// classic defence against power-of-two strides camping on one bank.
+  BankMapping mapping = BankMapping::block;
   unsigned row_bytes = 2048;      ///< row-buffer size
   unsigned t_rp = 40;             ///< precharge (close a conflicting row)
   unsigned t_rcd = 40;            ///< activate (open a row)

@@ -7,47 +7,32 @@
 namespace raa::rt {
 
 namespace {
-/// True while the current thread is inside a task body. taskwait() is a
-/// barrier over *all* tasks, so calling it from a task body (whose own
-/// completion the barrier would wait for) is a guaranteed deadlock; we
-/// detect and reject it instead.
-thread_local bool t_in_task_body = false;
+/// Identity of the task the current thread is executing, if any. Lets
+/// silent_async() link children to their spawning task, corun() find the
+/// join target, and taskwait() reject the guaranteed deadlock of being
+/// called from inside one of this runtime's own task bodies (the barrier
+/// would wait for the caller's own completion). Scoped per runtime so a
+/// task body may drive a *different* runtime freely.
+struct CurrentTask {
+  Runtime* rt = nullptr;
+  detail::TaskBlock* task = nullptr;
+};
+thread_local CurrentTask t_current;
 }  // namespace
 
 Runtime::Runtime(RuntimeOptions options)
     : options_(options),
-      scheduler_(options.policy, options.num_workers, options.seed),
-      epoch_(std::chrono::steady_clock::now()) {
-  try {
-    workers_.start(options_.num_workers,
-                   [this](std::stop_token stop, unsigned w) {
-                     worker_loop(stop, w);
-                   });
-  } catch (...) {
-    // Thread exhaustion mid-spawn: the workers that did start sleep on
-    // work_cv_ and must be woken to observe the stop, or the jthread
-    // destructors would join forever.
-    {
-      const std::scoped_lock lock{graph_mutex_};
-      workers_.request_stop();
-    }
-    work_cv_.notify_all();
-    workers_.join();
-    throw;
-  }
-}
+      epoch_(std::chrono::steady_clock::now()),
+      scheduler_(options.policy, options.num_workers, options.seed,
+                 [this](detail::TaskBlock* t, unsigned w) {
+                   run_popped(t, w);
+                 }) {}
 
 Runtime::~Runtime() {
   taskwait();
-  {
-    // Under the mutex: a worker is either between its predicate check and
-    // the wait (still holds the mutex, so this blocks until it sleeps) or
-    // already waiting — either way the notify below cannot be lost.
-    const std::scoped_lock lock{graph_mutex_};
-    workers_.request_stop();
-  }
-  work_cv_.notify_all();  // wake sleepers so they observe the stop
-  workers_.join();
+  // Stop + join the workers before any member is torn down; after this,
+  // member destruction order is irrelevant.
+  scheduler_.shutdown();
 }
 
 std::uint64_t Runtime::now_ns() const {
@@ -58,13 +43,25 @@ std::uint64_t Runtime::now_ns() const {
 }
 
 TaskId Runtime::spawn(std::function<void()> body, TaskAttrs attrs) {
-  return spawn(std::vector<Dep>{}, std::move(body), std::move(attrs));
+  return spawn_impl({}, std::move(body), std::move(attrs), /*nested=*/false);
 }
 
 TaskId Runtime::spawn(std::vector<Dep> deps, std::function<void()> body,
                       TaskAttrs attrs) {
+  return spawn_impl(std::move(deps), std::move(body), std::move(attrs),
+                    /*nested=*/false);
+}
+
+TaskId Runtime::silent_async(std::function<void()> body, TaskAttrs attrs) {
+  return spawn_impl({}, std::move(body), std::move(attrs), /*nested=*/true);
+}
+
+TaskId Runtime::spawn_impl(std::vector<Dep> deps, std::function<void()> body,
+                           TaskAttrs attrs, bool nested) {
   RAA_CHECK(body != nullptr);
-  bool ready = false;
+  // Spawns from a worker thread go to that worker's own deque (lock-free
+  // owner push under work stealing); external threads use the shared slot.
+  const unsigned hint = scheduler_.current_worker();
   TaskId id = kNoTask;
   {
     const std::scoped_lock lock{graph_mutex_};
@@ -74,6 +71,10 @@ TaskId Runtime::spawn(std::vector<Dep> deps, std::function<void()> body,
     t->id = id;
     t->body = std::move(body);
     t->attrs = std::move(attrs);
+    if (nested && t_current.rt == this && t_current.task != nullptr) {
+      t->parent = t_current.task;
+      ++t->parent->children;
+    }
     tasks_.push_back(std::move(block));
     ++spawned_;
 
@@ -97,13 +98,11 @@ TaskId Runtime::spawn(std::vector<Dep> deps, std::function<void()> body,
         ++t->pending_preds;
       }
     }
-    ready = (t->pending_preds == 0);
-    if (ready) {
-      scheduler_.push(t, options_.num_workers);  // no worker affinity
+    if (t->pending_preds == 0) {
+      scheduler_.push(t, hint);  // push wakes a parked worker itself
       ++ready_count_;
     }
   }
-  if (ready) work_cv_.notify_one();
   return id;
 }
 
@@ -113,10 +112,14 @@ void Runtime::execute(detail::TaskBlock* task, unsigned worker_id) {
   rec.worker = worker_id;
   rec.start_ns = now_ns();
   {
-    const bool outer = t_in_task_body;
-    t_in_task_body = true;
+    const CurrentTask outer = t_current;
+    t_current = CurrentTask{this, task};
     task->body();
-    t_in_task_body = outer;
+    // Implicit join: children spawned via silent_async() that the body
+    // did not corun() must finish before this task completes and its
+    // dependants are released.
+    corun_children(task, worker_id);
+    t_current = outer;
   }
   rec.end_ns = now_ns();
 
@@ -142,45 +145,68 @@ void Runtime::execute(detail::TaskBlock* task, unsigned worker_id) {
       scheduler_.push(succ, worker_id);
       ++ready_count_;
     }
+    if (task->parent != nullptr) {
+      RAA_CHECK(task->parent->children > 0);
+      --task->parent->children;  // may unblock the parent's corun/join
+    }
   }
-  if (!newly_ready.empty()) {
-    if (newly_ready.size() == 1)
-      work_cv_.notify_one();
-    else
-      work_cv_.notify_all();
-  }
+  // Workers park inside the executor and are woken by scheduler_.push();
+  // done_cv_ wakes threads blocked in taskwait()/corun() on completion
+  // events (barrier reached, children drained, work newly available).
   done_cv_.notify_all();
 }
 
-bool Runtime::run_one(unsigned worker_id) {
-  detail::TaskBlock* t = scheduler_.pop(worker_id);
-  if (t == nullptr) return false;
+void Runtime::run_popped(detail::TaskBlock* task, unsigned worker_id) {
   {
     const std::scoped_lock lock{graph_mutex_};
     RAA_CHECK(ready_count_ > 0);
     --ready_count_;
   }
-  execute(t, worker_id);
+  execute(task, worker_id);
+}
+
+bool Runtime::run_one(unsigned worker_id) {
+  detail::TaskBlock* t = scheduler_.pop(worker_id);
+  if (t == nullptr) return false;
+  run_popped(t, worker_id);
   return true;
 }
 
-void Runtime::worker_loop(std::stop_token stop, unsigned worker_id) {
-  while (!stop.stop_requested()) {
+void Runtime::corun() {
+  if (t_current.rt != this || t_current.task == nullptr) {
+    taskwait();
+    return;
+  }
+  corun_children(t_current.task, scheduler_.current_worker());
+}
+
+void Runtime::corun_children(detail::TaskBlock* task, unsigned worker_id) {
+  for (;;) {
+    {
+      const std::scoped_lock lock{graph_mutex_};
+      if (task->children == 0) return;
+    }
+    // Children outstanding: help run ready tasks (our children, or
+    // anything else — stealing unrelated work is what keeps every
+    // worker busy during a join).
     if (run_one(worker_id)) continue;
     std::unique_lock lock{graph_mutex_};
-    work_cv_.wait(lock, [&] {
-      return ready_count_ > 0 || stop.stop_requested();
+    if (task->children == 0) return;
+    done_cv_.wait(lock, [&] {
+      return task->children == 0 || ready_count_ > 0;
     });
+    if (task->children == 0) return;
   }
 }
 
 void Runtime::taskwait() {
-  RAA_CHECK_MSG(!t_in_task_body,
+  RAA_CHECK_MSG(t_current.rt != this,
                 "taskwait() called from inside a task body; the barrier "
-                "covers all tasks and would deadlock");
+                "covers all tasks and would deadlock — use corun() for a "
+                "nested join");
   // The caller helps execute tasks (worker id = num_workers: the shared
   // "external" slot of the scheduler).
-  const unsigned self = options_.num_workers;
+  const unsigned self = scheduler_.current_worker();
   for (;;) {
     if (run_one(self)) continue;
     std::unique_lock lock{graph_mutex_};

@@ -2,8 +2,9 @@
 /// \file runtime.hpp
 /// Public facade of the RAA tasking runtime (the paper's OmpSs/Nanos-like
 /// layer): spawn tasks with data-region annotations, let the runtime build
-/// the Task Dependency Graph and execute tasks out-of-order on a worker
-/// pool, then inspect the captured TDG and execution trace.
+/// the Task Dependency Graph and execute tasks out-of-order on a
+/// work-stealing worker pool, then inspect the captured TDG and execution
+/// trace.
 ///
 /// Example:
 /// \code
@@ -13,6 +14,19 @@
 ///   rt.spawn({raa::rt::out(b)}, [&] { b = produce(); });
 ///   rt.spawn({raa::rt::in(a), raa::rt::in(b)}, [&] { consume(a + b); });
 ///   rt.taskwait();
+/// \endcode
+///
+/// Nested parallelism (taskflow-shaped): a running task body may spawn
+/// children with silent_async() and cooperatively join them with corun();
+/// children a body leaves unjoined are joined implicitly before the task
+/// completes.
+/// \code
+///   rt.spawn([&] {
+///     rt.silent_async([&] { left = fib(n - 1); });
+///     rt.silent_async([&] { right = fib(n - 2); });
+///     rt.corun();  // runs/steals tasks until both children finished
+///     result = left + right;
+///   });
 /// \endcode
 
 #include <chrono>
@@ -24,7 +38,6 @@
 #include <mutex>
 #include <vector>
 
-#include "exec/worker_pool.hpp"
 #include "runtime/dependences.hpp"
 #include "runtime/graph.hpp"
 #include "runtime/scheduler.hpp"
@@ -55,8 +68,8 @@ struct RuntimeStats {
 
 /// The tasking runtime. Thread-compatible: any thread (including task
 /// bodies, for nested parallelism) may call spawn(); taskwait() may be
-/// called from the constructor thread or from task bodies (it is a full
-/// barrier over all spawned tasks).
+/// called from the constructor thread or from threads outside any task
+/// body of this runtime (it is a full barrier over all spawned tasks).
 class Runtime {
  public:
   explicit Runtime(RuntimeOptions options = {});
@@ -75,8 +88,23 @@ class Runtime {
   /// Convenience overload without dependences (embarrassingly parallel).
   TaskId spawn(std::function<void()> body, TaskAttrs attrs = {});
 
+  /// Nested spawn: a dependence-free child task. When called from inside
+  /// a task body of this runtime, the child is linked to the running task
+  /// — the parent will not complete (and its dependants will not be
+  /// released) until the child has finished, joined either cooperatively
+  /// via corun() or implicitly when the body returns. From any other
+  /// thread this is equivalent to spawn() with no dependences.
+  TaskId silent_async(std::function<void()> body, TaskAttrs attrs = {});
+
+  /// Cooperative join: from inside a task body of this runtime, run/steal
+  /// ready tasks until every child the current task spawned so far via
+  /// silent_async() has finished (parking, not spinning, when nothing is
+  /// ready). From any other thread, behaves as taskwait().
+  void corun();
+
   /// Full barrier: returns when every task spawned so far has finished.
-  /// The calling thread executes ready tasks while it waits.
+  /// The calling thread executes ready tasks while it waits. Must not be
+  /// called from inside a task body of this runtime (use corun() there).
   void taskwait();
 
   /// Snapshot of the captured TDG. Node costs are the measured execution
@@ -92,23 +120,28 @@ class Runtime {
   unsigned num_workers() const noexcept { return options_.num_workers; }
 
  private:
-  void worker_loop(std::stop_token stop, unsigned worker_id);
+  TaskId spawn_impl(std::vector<Dep> deps, std::function<void()> body,
+                    TaskAttrs attrs, bool nested);
 
   /// Run one ready task if available. Returns false when no task was ready.
   bool run_one(unsigned worker_id);
 
+  /// Scheduler callback: bookkeeping for a popped task, then execute().
+  void run_popped(detail::TaskBlock* task, unsigned worker_id);
+
   void execute(detail::TaskBlock* task, unsigned worker_id);
+
+  /// Cooperatively run/steal until task->children == 0.
+  void corun_children(detail::TaskBlock* task, unsigned worker_id);
 
   std::uint64_t now_ns() const;
 
   RuntimeOptions options_;
-  Scheduler scheduler_;
 
   /// Graph mutex: guards task-block state transitions, the dependence
   /// registry, the captured graph and counters. Task bodies run unlocked.
   mutable std::mutex graph_mutex_;
-  std::condition_variable work_cv_;   ///< signalled when tasks become ready
-  std::condition_variable done_cv_;   ///< signalled on task completion
+  std::condition_variable done_cv_;  ///< signalled on task completion
   DependenceRegistry registry_;
   std::deque<std::unique_ptr<detail::TaskBlock>> tasks_;  // stable addresses
   tdg::Graph captured_;
@@ -119,7 +152,11 @@ class Runtime {
   std::uint64_t ready_count_ = 0;  ///< tasks inside the scheduler
 
   std::chrono::steady_clock::time_point epoch_;
-  exec::WorkerPool workers_;  ///< thread lifecycle lives in src/exec/
+
+  /// Owns the worker threads (exec::StealingExecutor under the policy
+  /// facade). Declared last so everything it may touch outlives it; the
+  /// destructor additionally drains + shuts it down explicitly.
+  Scheduler scheduler_;
 };
 
 /// Parallel-for convenience built on the runtime: splits [begin, end) into

@@ -15,15 +15,30 @@ const char* to_string(SchedulerPolicy p) noexcept {
 }
 
 Scheduler::Scheduler(SchedulerPolicy policy, unsigned num_workers,
-                     std::uint64_t seed)
-    : policy_(policy), num_workers_(num_workers), rng_(seed) {
-  if (policy_ == SchedulerPolicy::work_stealing) {
-    // One extra slot (index num_workers_) for pushes without worker
-    // affinity, e.g. from the spawning main thread.
-    local_.reserve(num_workers_ + 1);
-    for (unsigned i = 0; i <= num_workers_; ++i)
-      local_.push_back(std::make_unique<LocalQueue>());
-  }
+                     std::uint64_t seed, RunFn run)
+    : policy_(policy),
+      num_workers_(num_workers),
+      executor_(
+          exec::StealingExecutor::Options{.num_workers = num_workers,
+                                          .seed = seed},
+          // Worker drain loop -> runtime task execution.
+          [run = std::move(run)](void* item, unsigned w) {
+            run(static_cast<detail::TaskBlock*>(item), w);
+          },
+          // Central policies park on the executor's notifier like
+          // everyone else; its workers reach the central queues through
+          // this poll hook. Under work_stealing the deques are the only
+          // source.
+          policy == SchedulerPolicy::work_stealing
+              ? exec::StealingExecutor::PollFn{}
+              : [this](unsigned) -> void* { return pop_central(); }) {}
+
+Scheduler::~Scheduler() { shutdown(); }
+
+void Scheduler::shutdown() { executor_.shutdown(); }
+
+unsigned Scheduler::current_worker() const noexcept {
+  return executor_.current_worker();
 }
 
 void Scheduler::push(detail::TaskBlock* task, unsigned worker_hint) {
@@ -31,35 +46,39 @@ void Scheduler::push(detail::TaskBlock* task, unsigned worker_hint) {
   switch (policy_) {
     case SchedulerPolicy::fifo:
     case SchedulerPolicy::lifo: {
-      const std::scoped_lock lock{central_mutex_};
-      central_.push_back(task);
+      {
+        const std::scoped_lock lock{central_mutex_};
+        central_.push_back(task);
+      }
+      executor_.notify_one();
       return;
     }
     case SchedulerPolicy::criticality_first: {
-      const std::scoped_lock lock{central_mutex_};
-      if (task->attrs.criticality == Criticality::critical)
-        central_critical_.push_back(task);
-      else
-        central_.push_back(task);
+      {
+        const std::scoped_lock lock{central_mutex_};
+        if (task->attrs.criticality == Criticality::critical)
+          central_critical_.push_back(task);
+        else
+          central_.push_back(task);
+      }
+      executor_.notify_one();
       return;
     }
-    case SchedulerPolicy::work_stealing: {
-      const unsigned slot = worker_hint <= num_workers_ ? worker_hint
-                                                        : num_workers_;
-      LocalQueue& q = *local_[slot];
-      const std::scoped_lock lock{q.mutex};
-      q.tasks.push_back(task);
+    case SchedulerPolicy::work_stealing:
+      executor_.submit(task, worker_hint);
       return;
-    }
   }
 }
 
 detail::TaskBlock* Scheduler::pop(unsigned worker) {
-  return policy_ == SchedulerPolicy::work_stealing ? pop_stealing(worker)
-                                                   : pop_central(worker);
+  if (policy_ == SchedulerPolicy::work_stealing)
+    return static_cast<detail::TaskBlock*>(executor_.try_pop(worker));
+  // Central policies: external threads go straight to the central
+  // queues — the executor's deques and injection queue are never used.
+  return pop_central();
 }
 
-detail::TaskBlock* Scheduler::pop_central(unsigned /*worker*/) {
+detail::TaskBlock* Scheduler::pop_central() {
   const std::scoped_lock lock{central_mutex_};
   if (!central_critical_.empty()) {
     detail::TaskBlock* t = central_critical_.front();
@@ -78,42 +97,8 @@ detail::TaskBlock* Scheduler::pop_central(unsigned /*worker*/) {
   return t;
 }
 
-detail::TaskBlock* Scheduler::pop_stealing(unsigned worker) {
-  const unsigned self = worker <= num_workers_ ? worker : num_workers_;
-  {  // Own queue: LIFO for cache locality.
-    LocalQueue& q = *local_[self];
-    const std::scoped_lock lock{q.mutex};
-    if (!q.tasks.empty()) {
-      detail::TaskBlock* t = q.tasks.back();
-      q.tasks.pop_back();
-      return t;
-    }
-  }
-  // Steal: FIFO from a rotating sequence of victims starting at a random
-  // offset (randomised to avoid convoying).
-  unsigned start = 0;
-  {
-    const std::scoped_lock lock{rng_mutex_};
-    start = static_cast<unsigned>(rng_.below(num_workers_ + 1));
-  }
-  for (unsigned k = 0; k <= num_workers_; ++k) {
-    const unsigned victim = (start + k) % (num_workers_ + 1);
-    if (victim == self) continue;
-    LocalQueue& q = *local_[victim];
-    const std::scoped_lock lock{q.mutex};
-    if (!q.tasks.empty()) {
-      detail::TaskBlock* t = q.tasks.front();
-      q.tasks.pop_front();
-      {
-        const std::scoped_lock rlock{rng_mutex_};
-        ++steals_;
-      }
-      return t;
-    }
-  }
-  return nullptr;
+std::uint64_t Scheduler::steal_count() const noexcept {
+  return executor_.steal_count();
 }
-
-std::uint64_t Scheduler::steal_count() const noexcept { return steals_; }
 
 }  // namespace raa::rt

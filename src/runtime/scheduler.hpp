@@ -1,19 +1,25 @@
 #pragma once
 /// \file scheduler.hpp
-/// Ready-task scheduling policies for the RAA runtime.
+/// Ready-task scheduling policies for the RAA runtime, built on the
+/// work-stealing executor (exec/stealing.hpp).
 ///
-/// Per C++ Core Guidelines CP.100 we deliberately avoid hand-rolled
-/// lock-free structures: every queue is a plain deque guarded by its own
-/// mutex. Tasks in this model are coarse (microseconds and up), so queue
-/// contention is noise; correctness and auditability win.
+/// The Scheduler owns the worker threads (via the executor) and exposes
+/// one push/pop surface for every policy:
+///  - `work_stealing` maps straight onto the executor: per-worker
+///    lock-free Chase–Lev deques, randomized stealing, parked idle
+///    workers.
+///  - `fifo` / `lifo` / `criticality_first` keep their central mutexed
+///    queues (the ordering *is* the policy — a distributed structure
+///    cannot promise global FIFO or strict criticality priority); the
+///    executor's workers drain them through its poll hook, so parking
+///    and wakeup are shared across all policies.
 
 #include <cstdint>
 #include <deque>
-#include <memory>
+#include <functional>
 #include <mutex>
-#include <vector>
 
-#include "common/rng.hpp"
+#include "exec/stealing.hpp"
 #include "runtime/task.hpp"
 
 namespace raa::rt {
@@ -28,33 +34,49 @@ enum class SchedulerPolicy : std::uint8_t {
 
 const char* to_string(SchedulerPolicy p) noexcept;
 
-/// Ready-queue with pluggable policy. All operations are thread-safe and
-/// non-blocking; parking idle workers is the runtime's job.
+/// Ready-queue + worker threads. push()/pop() are thread-safe and
+/// non-blocking; push() wakes a parked worker. The `run` callback is
+/// invoked on a worker thread for every task its loop acquires.
 class Scheduler {
  public:
-  Scheduler(SchedulerPolicy policy, unsigned num_workers, std::uint64_t seed);
+  using RunFn = std::function<void(detail::TaskBlock*, unsigned)>;
 
-  /// Enqueue a ready task. `worker_hint` is the id of the worker that made
-  /// it ready (used by work stealing for locality); pass num_workers for
-  /// "no affinity" (e.g. the spawning main thread).
+  Scheduler(SchedulerPolicy policy, unsigned num_workers, std::uint64_t seed,
+            RunFn run);
+
+  /// Joins the workers (shutdown()).
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Enqueue a ready task and wake a worker. `worker_hint` is the id of
+  /// the worker that made it ready (owner-deque push under work
+  /// stealing); pass num_workers for "no affinity" (e.g. the spawning
+  /// main thread).
   void push(detail::TaskBlock* task, unsigned worker_hint);
 
-  /// Dequeue work for `worker`; nullptr when empty everywhere.
+  /// Dequeue work on behalf of `worker` (external/helping threads pass
+  /// num_workers); nullptr when empty everywhere.
   detail::TaskBlock* pop(unsigned worker);
 
-  SchedulerPolicy policy() const noexcept { return policy_; }
+  /// Stop and join the worker threads. Idempotent. The owner must drain
+  /// outstanding work first (the runtime taskwaits in its destructor).
+  void shutdown();
 
-  /// Total steals performed (work_stealing only; diagnostic counter).
+  /// Executor-worker id of the calling thread, or num_workers when the
+  /// caller is not one of this scheduler's workers.
+  unsigned current_worker() const noexcept;
+
+  SchedulerPolicy policy() const noexcept { return policy_; }
+  unsigned num_workers() const noexcept { return num_workers_; }
+
+  /// Total steals performed (diagnostic; relaxed-atomic sum, exact only
+  /// once the queues are quiescent). Central policies never steal.
   std::uint64_t steal_count() const noexcept;
 
  private:
-  struct LocalQueue {
-    std::mutex mutex;
-    std::deque<detail::TaskBlock*> tasks;
-  };
-
-  detail::TaskBlock* pop_central(unsigned worker);
-  detail::TaskBlock* pop_stealing(unsigned worker);
+  detail::TaskBlock* pop_central();
 
   SchedulerPolicy policy_;
   unsigned num_workers_;
@@ -64,11 +86,7 @@ class Scheduler {
   std::deque<detail::TaskBlock*> central_;
   std::deque<detail::TaskBlock*> central_critical_;
 
-  // Work stealing state.
-  std::vector<std::unique_ptr<LocalQueue>> local_;
-  std::mutex rng_mutex_;
-  Rng rng_;
-  std::uint64_t steals_ = 0;
+  exec::StealingExecutor executor_;  ///< owns the worker threads
 };
 
 }  // namespace raa::rt

@@ -112,6 +112,13 @@ struct TaskBlock {
   std::vector<TaskBlock*> successors;
   bool finished = false;
 
+  /// Nested-spawn linkage (Runtime::silent_async): the task whose body
+  /// spawned this one, and the count of this task's own live children.
+  /// Both guarded by the graph mutex; a task completes only after its
+  /// children count has drained back to zero (implicit join).
+  TaskBlock* parent = nullptr;
+  std::uint32_t children = 0;
+
   /// Filled after execution.
   TraceRecord trace;
 };

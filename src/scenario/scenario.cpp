@@ -217,13 +217,15 @@ bool to_backend_kind(Ctx& c, const Value& v, const std::string& path,
 }
 
 /// Shared loop for the flat/banked parameter sub-objects: each key maps
-/// to an unsigned or double destination; unsigned keys must be positive
-/// unless listed in `zero_ok` (refresh can be disabled outright).
+/// to an unsigned, double or bank-mapping destination; unsigned keys must
+/// be positive unless listed in `zero_ok` (refresh can be disabled
+/// outright).
 struct ParamKey {
   const char* key;
   unsigned* u = nullptr;
   double* d = nullptr;
   bool zero_ok = false;
+  mem::BankMapping* m = nullptr;
 };
 
 bool parse_params(Ctx& c, const Value& v, const std::string& path,
@@ -240,6 +242,15 @@ bool parse_params(Ctx& c, const Value& v, const std::string& path,
       if (!to_u32(c, val, p, x)) return false;
       if (x == 0 && !match->zero_ok) return c.fail(p, "must be positive");
       *match->u = x;
+    } else if (match->m != nullptr) {
+      std::string s;
+      if (!to_str(c, val, p, s)) return false;
+      if (s == "block")
+        *match->m = mem::BankMapping::block;
+      else if (s == "xor")
+        *match->m = mem::BankMapping::xor_hash;
+      else
+        return c.fail(p, "unknown mapping '" + s + "' (want block or xor)");
     } else {
       if (!val.is_number() || val.as_number() < 0.0)
         return c.fail(p, "expected a non-negative number");
@@ -273,6 +284,7 @@ bool parse_memory(Ctx& c, const Value& v, const std::string& path,
             c, *bv, path + ".banked",
             {{"channels", &b.channels},
              {"banks_per_channel", &b.banks_per_channel},
+             {"mapping", nullptr, nullptr, false, &b.mapping},
              {"row_bytes", &b.row_bytes},
              {"t_rp", &b.t_rp, nullptr, true},
              {"t_rcd", &b.t_rcd, nullptr, true},
@@ -820,6 +832,7 @@ json::Value memory_to_json(const mem::MemoryConfig& m) {
   json::Value b;
   b.set("channels", m.banked.channels);
   b.set("banks_per_channel", m.banked.banks_per_channel);
+  b.set("mapping", mem::to_string(m.banked.mapping));
   b.set("row_bytes", m.banked.row_bytes);
   b.set("t_rp", m.banked.t_rp);
   b.set("t_rcd", m.banked.t_rcd);

@@ -119,6 +119,47 @@ TEST(BankedBackend, RowConflictAddsPrecharge) {
   EXPECT_EQ(b.stats().row_conflicts, 1u);
 }
 
+// A/B over the bank-hash address mapping: a two-block ping-pong whose
+// stride aliases the bank interleave. Under the plain block mapping both
+// blocks land on bank 0 with different rows — every access after the
+// first is a row conflict. The XOR hash folds the row bits in, spreading
+// the same two blocks across both banks: two cold misses, then row hits.
+TEST(BankedBackend, XorMappingBreaksStrideRowConflicts) {
+  BankedBackend::Params p = unit_params();
+  p.banks_per_channel = 2;
+  // Blocks 0 and 2: within-channel ids 0 and 2, rows 0 and 1.
+  //   block:  bank = within % 2      -> both on bank 0 (conflict ping-pong)
+  //   xor:    bank = (within^row)%2  -> banks 0 and 1 (no shared bank)
+  const std::uint64_t a = 0;
+  const std::uint64_t b_addr = 2 * p.row_bytes;
+
+  const auto run = [&](raa::mem::BankMapping mapping) {
+    p.mapping = mapping;
+    BankedBackend b{p, 1};
+    auto* log = capture(b);
+    double at = 0.0;
+    for (int i = 0; i < 4; ++i) {
+      b.enqueue(read_at(a, at));
+      drain(b);
+      b.enqueue(read_at(b_addr, at + 500.0));
+      drain(b);
+      at += 1000.0;
+    }
+    EXPECT_EQ(log->size(), 8u);
+    return b.stats();
+  };
+
+  const auto block = run(raa::mem::BankMapping::block);
+  EXPECT_EQ(block.row_misses, 1u);
+  EXPECT_EQ(block.row_conflicts, 7u);
+  EXPECT_EQ(block.row_hits, 0u);
+
+  const auto hashed = run(raa::mem::BankMapping::xor_hash);
+  EXPECT_EQ(hashed.row_misses, 2u);
+  EXPECT_EQ(hashed.row_conflicts, 0u);
+  EXPECT_EQ(hashed.row_hits, 6u);
+}
+
 TEST(BankedBackend, RefreshClosesRowsAndBlocksTheBank) {
   BankedBackend::Params p = unit_params();
   p.refresh_interval = 1000;

@@ -320,6 +320,10 @@ TEST(ScenarioParse, ReportsActionableErrors) {
   expect_error(R"({"name": "t", "config": {"tiles": 8}, )" + base +
                    R"(, "programs": []})",
                "mesh_x * mesh_y");
+  expect_error(R"({"name": "t", )" + base +
+                   R"(, "memory": {"banked": {"mapping": "hash"}},
+                   "programs": []})",
+               "unknown mapping 'hash' (want block or xor)");
   expect_error(
       R"({"name": "t", "regions": [{"name": "r", "class": "strided"}]})",
       "exactly one of \"bytes\" or \"bytes_per_core\"");

@@ -13,6 +13,8 @@
 //   --backend    flat | banked — override the DRAM timing backend the
 //                scenario (or trace) selected; banked parameters still
 //                come from the scenario's "memory" object / the trace
+//   --mapping    block | xor — override the banked backend's bank-hash
+//                address mapping (scenario key memory.banked.mapping)
 //   --seed       override the scenario's seed (deterministic re-runs
 //                under a different random stream)
 //   --shards     front-end lanes per System::run (metrics are identical
@@ -80,10 +82,12 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s --scenario=FILE [--mode=cache_only|hybrid|compare] "
-      "[--backend=flat|banked] [--seed=N] [--shards=N] [--record=TRACE] "
+      "[--backend=flat|banked] [--mapping=block|xor] [--seed=N] "
+      "[--shards=N] [--record=TRACE] "
       "[--json=PATH] [--selfcheck] [--fail-on-marker] [--quiet]\n"
       "       %s --replay=TRACE [--mode=cache_only|hybrid] "
-      "[--backend=flat|banked] [--shards=N] [--json=PATH] [--selfcheck] "
+      "[--backend=flat|banked] [--mapping=block|xor] [--shards=N] "
+      "[--json=PATH] [--selfcheck] "
       "[--quiet]\n",
       argv0, argv0);
   return raa::kExitUsage;
@@ -283,6 +287,19 @@ int main(int argc, char** argv) try {
       return raa::kExitUsage;
     }
   }
+  if (cli.has("mapping")) {
+    const std::string ms = cli.get_string("mapping", "");
+    if (ms == "block") {
+      cfg.memory.banked.mapping = raa::mem::BankMapping::block;
+    } else if (ms == "xor") {
+      cfg.memory.banked.mapping = raa::mem::BankMapping::xor_hash;
+    } else {
+      std::fprintf(stderr,
+                   "error: --mapping must be block or xor, got '%s'\n",
+                   ms.c_str());
+      return raa::kExitUsage;
+    }
+  }
 
   // --- main run(s) --------------------------------------------------------
   using clock = std::chrono::steady_clock;
@@ -356,6 +373,8 @@ int main(int argc, char** argv) try {
     b.set_param("tiles", std::to_string(cfg.tiles));
     b.set_param("shards", std::to_string(shards));
     b.set_param("backend", raa::mem::to_string(cfg.memory.kind));
+    if (cfg.memory.kind == raa::mem::MemBackendKind::banked)
+      b.set_param("mapping", raa::mem::to_string(cfg.memory.banked.mapping));
     if (replay_path.empty()) {
       b.set_param("scenario", scenario_path);
       b.set_param("mode", raa::scen::to_string(scenario.mode));
