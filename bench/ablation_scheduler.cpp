@@ -12,6 +12,7 @@
 
 #include "common/table.hpp"
 #include "harness.hpp"
+#include "obs/counters.hpp"
 #include "runtime/graph.hpp"
 #include "runtime/runtime.hpp"
 #include "simcore/tdg_sim.hpp"
@@ -84,10 +85,18 @@ RAA_BENCHMARK("ablation_scheduler", "§3.1 scheduling-policy ablation") {
   // the gated ones and are independent of host scheduling by
   // construction (see docs/ARCHITECTURE.md, "Why simulated metrics
   // cannot move").
+  // The numbers are read from the obs counter registry — the same
+  // "rt.tasks_executed"/"exec.steals" gauges the runtime and executor
+  // publish for everything else — as deltas across the storm, so the
+  // bench and RuntimeStats can never drift apart (single source of
+  // truth; see docs/OBSERVABILITY.md).
   {
     const unsigned host_workers = 4;
     const int storm = static_cast<int>(2048 * scale);
     ctx.report.set_param("host_workers", std::to_string(host_workers));
+    auto& reg = raa::obs::Registry::instance();
+    const std::uint64_t tasks_before = reg.value("rt.tasks_executed");
+    const std::uint64_t steals_before = reg.value("exec.steals");
     const auto t0 = std::chrono::steady_clock::now();
     raa::rt::Runtime rt{{.num_workers = host_workers}};
     std::atomic<std::uint64_t> sink{0};
@@ -97,20 +106,20 @@ RAA_BENCHMARK("ablation_scheduler", "§3.1 scheduling-policy ablation") {
     const double secs =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
-    const auto stats = rt.stats();
+    // Sampled while rt is alive: its gauges detach on destruction.
+    const std::uint64_t tasks = reg.value("rt.tasks_executed") - tasks_before;
+    const std::uint64_t steals = reg.value("exec.steals") - steals_before;
     ctx.report.record_info("host_tasks_per_second",
-                           static_cast<double>(stats.tasks_executed) /
-                               std::max(secs, 1e-9),
+                           static_cast<double>(tasks) / std::max(secs, 1e-9),
                            "tasks/s");
-    ctx.report.record_info("host_steal_count",
-                           static_cast<double>(stats.steals), "steals");
+    ctx.report.record_info("host_steal_count", static_cast<double>(steals),
+                           "steals");
     if (ctx.printing())
       std::printf(
           "\nhost executor (informational): %llu tasks on %u workers, "
           "%.3g tasks/s, %llu steals\n",
-          static_cast<unsigned long long>(stats.tasks_executed),
-          host_workers,
-          static_cast<double>(stats.tasks_executed) / std::max(secs, 1e-9),
-          static_cast<unsigned long long>(stats.steals));
+          static_cast<unsigned long long>(tasks), host_workers,
+          static_cast<double>(tasks) / std::max(secs, 1e-9),
+          static_cast<unsigned long long>(steals));
   }
 }

@@ -19,6 +19,8 @@
 
 #include "common/cli.hpp"
 #include "memsim/system.hpp"
+#include "obs/counters.hpp"
+#include "obs/obs.hpp"
 #include "runtime/runtime.hpp"
 #include "solver/csr.hpp"
 #include "vector/vpu.hpp"
@@ -177,6 +179,44 @@ int main(int argc, char** argv) {
           raa::mem::System sys{cfg, raa::mem::HierarchyMode::cache_only};
           do_not_optimize(sys.run(w));
         }));
+  }
+
+  // --- obs layer overhead ------------------------------------------------
+  // The tracing macros' cost in each of their three states. "Disabled"
+  // (no session) is the one the zero-overhead gate pins: a single relaxed
+  // load + untaken branch, so its ns/iter must sit at the measurement
+  // floor next to BM_ObsCounterAdd-style raw atomics.
+
+  if (wants("BM_ObsEmitDisabled")) {
+    constexpr int kEvents = 1024;
+    results.push_back(run_case(
+        "BM_ObsEmitDisabled/1024", kEvents, min_time, [] {
+          for (int i = 0; i < kEvents; ++i)
+            RAA_OBS_HOST_EVENT(app, mark, instant,
+                               static_cast<std::uint64_t>(i), 0u);
+        }));
+  }
+
+  if (wants("BM_ObsEmitEnabled")) {
+    constexpr int kEvents = 1024;
+    raa::obs::start();
+    results.push_back(run_case(
+        "BM_ObsEmitEnabled/1024", kEvents, min_time, [] {
+          for (int i = 0; i < kEvents; ++i)
+            RAA_OBS_HOST_EVENT(app, mark, instant,
+                               static_cast<std::uint64_t>(i), 0u);
+        }));
+    do_not_optimize(raa::obs::stop());
+  }
+
+  if (wants("BM_ObsCounterAdd")) {
+    constexpr int kOps = 1024;
+    raa::obs::Counter& c =
+        raa::obs::Registry::instance().counter("bench.obs_counter");
+    results.push_back(run_case("BM_ObsCounterAdd/1024", kOps, min_time, [&] {
+      for (int i = 0; i < kOps; ++i) c.add();
+      do_not_optimize(c.get());
+    }));
   }
 
   if (wants("BM_VpuGatherInstruction")) {

@@ -1,8 +1,11 @@
 #include "exec/stealing.hpp"
 
+#include <string>
 #include <thread>
 
 #include "common/check.hpp"
+#include "obs/counters.hpp"
+#include "obs/obs.hpp"
 
 namespace raa::exec {
 
@@ -34,6 +37,11 @@ StealingExecutor::StealingExecutor(Options options, RunFn run, PollFn poll)
   steals_ = std::make_unique<std::atomic<std::uint64_t>[]>(n + 1);
   for (unsigned w = 0; w <= n; ++w)
     steals_[w].store(0, std::memory_order_relaxed);
+  // Surface the per-slot cells in the counter registry without copying
+  // them: an external gauge summed under "exec.steals" across all live
+  // executors. Detached in shutdown(), before any member is torn down.
+  obs_token_ = obs::Registry::instance().attach_external(
+      "exec.steals", [this] { return steal_count(); });
   try {
     pool_.start(n, [this](std::stop_token stop, unsigned w) {
       worker_loop(stop, w);
@@ -51,6 +59,11 @@ StealingExecutor::StealingExecutor(Options options, RunFn run, PollFn poll)
 StealingExecutor::~StealingExecutor() { shutdown(); }
 
 void StealingExecutor::shutdown() {
+  if (obs_token_ != 0) {
+    // After detach returns, no snapshot is mid-call into our gauge.
+    obs::Registry::instance().detach_external(obs_token_);
+    obs_token_ = 0;
+  }
   pool_.request_stop();
   notifier_.notify_all();
   pool_.join();
@@ -96,6 +109,7 @@ void* StealingExecutor::try_pop(unsigned worker) {
 }
 
 void* StealingExecutor::steal_sweep(unsigned self) {
+  RAA_OBS_HOST_EVENT(exec, steal_attempt, instant, self, 0);
   const unsigned n = options_.num_workers;
   // Victim space: the n worker deques plus the injection queue as victim
   // index n (stolen FIFO — oldest external submission first).
@@ -117,6 +131,7 @@ void* StealingExecutor::steal_sweep(unsigned self) {
                          : pop_injected(/*lifo=*/false);
       if (item != nullptr) {
         steals_[self].fetch_add(1, std::memory_order_relaxed);
+        RAA_OBS_HOST_EVENT(exec, steal_success, instant, self, v);
         return item;
       }
     }
@@ -134,6 +149,9 @@ std::uint64_t StealingExecutor::steal_count() const noexcept {
 void StealingExecutor::worker_loop(std::stop_token stop, unsigned w) {
   t_exec = this;
   t_worker = w;
+#if RAA_OBS_ENABLED
+  obs::set_thread_name("exec-w" + std::to_string(w));
+#endif
   while (!stop.stop_requested()) {
     if (void* item = try_pop(w)) {
       run_(item, w);
@@ -165,7 +183,9 @@ void StealingExecutor::worker_loop(std::stop_token stop, unsigned w) {
       run_(item, w);
       continue;
     }
+    RAA_OBS_HOST_EVENT(exec, worker_park, begin, w, 0);
     notifier_.commit_wait(epoch);
+    RAA_OBS_HOST_EVENT(exec, worker_park, end, w, 0);
   }
   t_exec = nullptr;
 }

@@ -182,8 +182,13 @@ class StealingExecutor {
   std::vector<Rng> rng_;
   std::atomic<std::uint64_t> ext_start_{0};
 
-  /// Per-slot steal counters, slot num_workers = external threads.
+  /// Per-slot steal counters, slot num_workers = external threads. These
+  /// cells are the single source of truth for steal counts: the obs
+  /// counter registry samples them through an "exec.steals" external
+  /// gauge attached for the executor's lifetime (see stealing.cpp), so
+  /// no second copy of the count exists anywhere.
   std::unique_ptr<std::atomic<std::uint64_t>[]> steals_;
+  std::uint64_t obs_token_ = 0;  ///< registry external-gauge handle
 
   Notifier notifier_;
   WorkerPool pool_;  ///< last member: threads die before the state above

@@ -14,6 +14,7 @@
 
 #include "common/exit_codes.hpp"
 #include "exec/pool.hpp"
+#include "obs/obs.hpp"
 #include "report/report.hpp"
 
 namespace raa::fleet {
@@ -109,6 +110,12 @@ FleetResult run_fleet(const FleetOptions& opt) {
 
   std::vector<unsigned> attempts(n, 0);
   std::vector<bool> finalized(n, false);
+  // Per-job wall-clock span: first submit -> finalize, measured on the
+  // coordinator thread. Feeds the job trace spans and the index's
+  // informational job_wall_ms list (host-dependent, never gated).
+  std::vector<bool> job_started(n, false);
+  std::vector<clock_type::time_point> job_first_start(n);
+  std::vector<double> job_wall_ms(n, 0.0);
   std::size_t n_final = 0;
   bool any_failed = false;
   std::uint64_t total_sim_accesses = 0;
@@ -118,7 +125,12 @@ FleetResult run_fleet(const FleetOptions& opt) {
     auto att = std::make_shared<Attempt>();
     att->job = job;
     att->attempt_no = ++attempts[job];
-    if (att->attempt_no == 1) ++attempted_jobs;
+    if (att->attempt_no == 1) {
+      ++attempted_jobs;
+      job_started[job] = true;
+      job_first_start[job] = clock_type::now();
+      RAA_OBS_HOST_EVENT(fleet, job, begin, job, 0);
+    }
     running.push_back(att);
     pool.submit(group, [&, att] {
       att->start = clock_type::now();
@@ -165,6 +177,14 @@ FleetResult run_fleet(const FleetOptions& opt) {
 
   const auto finalize = [&](std::size_t job, JobStatus status,
                             const JobOutcome* out) {
+    if (job_started[job]) {
+      job_wall_ms[job] = std::chrono::duration<double, std::milli>(
+                             clock_type::now() - job_first_start[job])
+                             .count();
+      RAA_OBS_HOST_EVENT(fleet, job, end, job,
+                         static_cast<std::uint64_t>(status) |
+                             (std::uint64_t{attempts[job]} << 8));
+    }
     JobRecord& r = res.records[job];
     r.status = status;
     r.attempts = attempts[job];
@@ -255,6 +275,7 @@ FleetResult run_fleet(const FleetOptions& opt) {
                 "after backoff\n",
                 man.jobs[job].id.c_str(), attempts[job],
                 to_string(out.error), out.message.c_str());
+          RAA_OBS_HOST_EVENT(fleet, job_retry, instant, job, attempts[job]);
           delayed.push_back(
               Delayed{now + backoff_delay(attempts[job]), job});
           res.records[job].error = out.error;  // last-seen, final wins later
@@ -278,10 +299,14 @@ FleetResult run_fleet(const FleetOptions& opt) {
       if (att->started.load(std::memory_order_acquire)) {
         const auto deadline =
             att->start + std::chrono::milliseconds(timeout_ms);
-        if (now >= deadline)
-          att->cancel.store(true, std::memory_order_relaxed);
-        else
+        if (now >= deadline) {
+          // exchange: emit the timeout event once, not per watchdog pass.
+          if (!att->cancel.exchange(true, std::memory_order_relaxed))
+            RAA_OBS_HOST_EVENT(fleet, job_timeout, instant, att->job,
+                               att->attempt_no);
+        } else {
           next_event = std::min(next_event, deadline);
+        }
       } else {
         // Queued behind a busy lane: poll until it stamps its start.
         next_event =
@@ -373,6 +398,16 @@ FleetResult run_fleet(const FleetOptions& opt) {
     info.set("sim_accesses_per_second",
              wall > 0.0 ? static_cast<double>(total_sim_accesses) / wall
                         : 0.0);
+    // Per-job wall spans in manifest order (ordering deterministic,
+    // values host-dependent; skipped jobs report 0).
+    json::Value spans{json::Array{}};
+    for (std::size_t i = 0; i < n; ++i) {
+      json::Value s;
+      s.set("id", res.records[i].id);
+      s.set("wall_ms", job_wall_ms[i]);
+      spans.push_back(std::move(s));
+    }
+    info.set("job_wall_ms", std::move(spans));
     index.set("informational", std::move(info));
   }
 

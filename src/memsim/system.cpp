@@ -9,6 +9,7 @@
 
 #include "exec/parallel.hpp"
 #include "exec/pool.hpp"
+#include "obs/obs.hpp"
 
 namespace raa::mem {
 
@@ -148,11 +149,35 @@ System::System(const SystemConfig& config, HierarchyMode mode,
       read_done_ = true;
       read_latency_ = latency;
     }
+#if RAA_OBS_ENABLED
+    if (obs::enabled()) {
+      // Classify this request's row outcome by the delta of the backend's
+      // row counters since the previous completion — exact, because the
+      // backend services requests one at a time on the commit thread and
+      // updates its stats before firing the completion. FlatBackend never
+      // moves the row counters, so flat traces carry "none".
+      const BackendStats& bs = backend_->stats();
+      std::uint8_t row = obs::kRowNone;
+      if (bs.row_hits != obs_rows_.hits)
+        row = obs::kRowHit;
+      else if (bs.row_misses != obs_rows_.misses)
+        row = obs::kRowMiss;
+      else if (bs.row_conflicts != obs_rows_.conflicts)
+        row = obs::kRowConflict;
+      obs_rows_ = {bs.row_hits, bs.row_misses, bs.row_conflicts};
+      obs::emit_sim(obs::Cat::memsim, obs::Name::dram_complete,
+                    obs::Phase::instant, now_,
+                    std::bit_cast<std::uint64_t>(latency), req.line,
+                    static_cast<std::uint8_t>(row << obs::kRowShift));
+    }
+#endif
   });
 }
 
 unsigned System::dram_read(std::uint64_t line, unsigned mc) {
   read_done_ = false;
+  RAA_OBS_SIM_EVENT(memsim, dram_enqueue, instant, now_, line,
+                    static_cast<std::uint64_t>(mc));
   backend_->enqueue(LineReq{LineReq::Kind::read, line, mc, now_, false});
   while (!read_done_) backend_->tick();
   return static_cast<unsigned>(read_latency_);
@@ -190,6 +215,8 @@ void System::l2_insert_absent(unsigned home, std::uint64_t line,
   if (victim && victim->dirty) {
     lines_.at(victim->line_addr).dram = victim->value;
     const unsigned mc = noc_.nearest_mc(home);
+    RAA_OBS_SIM_EVENT(memsim, dram_enqueue, instant, now_, victim->line_addr,
+                      static_cast<std::uint64_t>(mc) | (1u << 8));
     backend_->enqueue(
         LineReq{LineReq::Kind::write, victim->line_addr, mc, now_, false});
     send(home, mc, flits_line_);
@@ -480,6 +507,8 @@ double System::dma_map_chunk(unsigned core, const Region& region,
       if (!from_cache_side) {
         value = li.dram;
         ++dram_lines;
+        RAA_OBS_SIM_EVENT(memsim, dram_enqueue, instant, now_, line,
+                          static_cast<std::uint64_t>(mc) | (1u << 9));
         backend_->enqueue(
             LineReq{LineReq::Kind::read, line, mc, now_, /*burst=*/true});
         // The fill allocates in the home L2 bank on the way (L2-backed
@@ -509,20 +538,28 @@ double System::dma_map_chunk(unsigned core, const Region& region,
   if (l2_lines > 0) send(home, core, l2_lines * payload + 1);
 
   ++metrics_.dma_transfers;
+  double lat = 0.0;
   if (!fetch) {
     // Write-allocate: only the directory transaction is on the path.
-    return noc_.latency(noc_.hops(core, home), 1) * 2.0 + cfg_.lat_dir;
+    lat = noc_.latency(noc_.hops(core, home), 1) * 2.0 + cfg_.lat_dir;
+  } else {
+    // Pipelined DMA latency: request + access latency of the slowest
+    // source + per-line cadence + data head flight. The backend times the
+    // DRAM half of the burst; L2-sourced lines cost lat_l2_hit at the head.
+    while (!backend_->idle()) backend_->tick();
+    const BurstTiming bt = backend_->finish_burst(lines, dram_lines);
+    const double src_lat =
+        dram_lines > 0 ? bt.service : static_cast<double>(cfg_.lat_l2_hit);
+    lat = noc_.latency(noc_.hops(core, mc), 1) + src_lat + bt.cadence +
+          noc_.latency(noc_.hops(mc, core), flits_line_);
   }
-  // Pipelined DMA latency: request + access latency of the slowest source
-  // + per-line cadence + data head flight. The backend times the DRAM
-  // half of the burst; L2-sourced lines cost lat_l2_hit at the head.
-  while (!backend_->idle()) backend_->tick();
-  const BurstTiming bt = backend_->finish_burst(lines, dram_lines);
-  const double src_lat =
-      dram_lines > 0 ? bt.service : static_cast<double>(cfg_.lat_l2_hit);
-  const double lat =
-      noc_.latency(noc_.hops(core, mc), 1) + src_lat + bt.cadence +
-      noc_.latency(noc_.hops(mc, core), flits_line_);
+  // Complete-phase events are stamped at their END (exporter subtracts
+  // the duration); the chunk's DMA occupies [now_, now_ + lat).
+  RAA_OBS_SIM_EVENT(memsim, dma_chunk, complete, now_ + lat,
+                    std::bit_cast<std::uint64_t>(lat),
+                    static_cast<std::uint64_t>(lines) |
+                        (static_cast<std::uint64_t>(dram_lines) << 16) |
+                        (static_cast<std::uint64_t>(core) << 32));
   return lat;
 }
 
@@ -700,6 +737,10 @@ void System::begin_run(Workload& workload) {
   core_clock_.assign(cfg_.tiles, 0.0);
   backend_->begin_run();
   now_ = 0.0;
+  obs_rows_ = {};
+  RAA_OBS_SIM_EVENT(memsim, epoch, begin, 0.0,
+                    static_cast<std::uint64_t>(cfg_.tiles),
+                    static_cast<std::uint64_t>(mode_));
   region_count_ = workload.regions.size();
   streams_.assign(cfg_.tiles * std::max<std::size_t>(region_count_, 1), {});
   // Flatten the region deque: the per-access region checks index it hard.
@@ -722,6 +763,8 @@ Metrics System::finish_run() {
   metrics_.cycles = now_;
   metrics_.e_static = metrics_.cycles * static_cast<double>(cfg_.tiles) *
                       cfg_.e_static_per_tile_cycle;
+  RAA_OBS_SIM_EVENT(memsim, epoch, end, now_, metrics_.accesses,
+                    metrics_.dram_line_reads);
   workload_ = nullptr;
   return metrics_;
 }

@@ -236,6 +236,16 @@ class System {
   bool read_done_ = false;
   double read_latency_ = 0.0;
 
+  /// Row-counter snapshot at the previous backend completion: the delta
+  /// classifies each completed request as row hit/miss/conflict for the
+  /// dram.complete trace event (backend services are serial on the
+  /// commit thread, so the delta is exact). Reset by begin_run.
+  struct ObsRowSnap {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t conflicts = 0;
+  } obs_rows_;
+
   // Stream-prefetcher state (per core): 8 sequential-stream trackers; the
   // prefetched-but-not-yet-used "tag" bit lives in LineInfo::prefetch_mask.
   std::vector<std::array<std::uint64_t, 8>> stream_trackers_;

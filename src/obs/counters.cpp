@@ -1,0 +1,139 @@
+/// \file counters.cpp
+/// Registry storage: a deque of named cells (deque => stable addresses
+/// across intern calls) plus the external-gauge list, all behind one
+/// mutex that only interning, attachment and snapshots take.
+
+#include "obs/counters.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace raa::obs {
+
+struct Registry::Impl {
+  struct CounterEntry {
+    std::string name;
+    Counter cell;
+  };
+  struct HistogramEntry {
+    std::string name;
+    Histogram cell;
+  };
+  struct External {
+    std::uint64_t token;
+    std::string name;
+    ExternalFn fn;
+  };
+
+  mutable std::mutex mutex;
+  std::deque<CounterEntry> counters;
+  std::deque<HistogramEntry> histograms;
+  std::vector<External> externals;
+  std::uint64_t next_token = 1;
+};
+
+Registry& Registry::instance() {
+  static Registry r;
+  return r;
+}
+
+Registry::Impl& Registry::impl() const {
+  static Impl i;
+  return i;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  Impl& im = impl();
+  const std::scoped_lock lock{im.mutex};
+  for (auto& e : im.counters)
+    if (e.name == name) return e.cell;
+  // Atomics make the entries immovable; emplace a default and name it.
+  im.counters.emplace_back();
+  im.counters.back().name = std::string{name};
+  return im.counters.back().cell;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  Impl& im = impl();
+  const std::scoped_lock lock{im.mutex};
+  for (auto& e : im.histograms)
+    if (e.name == name) return e.cell;
+  im.histograms.emplace_back();
+  im.histograms.back().name = std::string{name};
+  return im.histograms.back().cell;
+}
+
+std::uint64_t Registry::attach_external(std::string name, ExternalFn fn) {
+  Impl& im = impl();
+  const std::scoped_lock lock{im.mutex};
+  const std::uint64_t token = im.next_token++;
+  im.externals.push_back(
+      Impl::External{token, std::move(name), std::move(fn)});
+  return token;
+}
+
+void Registry::detach_external(std::uint64_t token) noexcept {
+  if (token == 0) return;
+  Impl& im = impl();
+  const std::scoped_lock lock{im.mutex};
+  std::erase_if(im.externals,
+                [token](const Impl::External& e) { return e.token == token; });
+}
+
+std::uint64_t Registry::value(std::string_view name) const {
+  Impl& im = impl();
+  const std::scoped_lock lock{im.mutex};
+  std::uint64_t v = 0;
+  for (const auto& e : im.counters)
+    if (e.name == name) v += e.cell.get();
+  for (const auto& e : im.externals)
+    if (e.name == name) v += e.fn();
+  return v;
+}
+
+json::Value Registry::snapshot_json() const {
+  Impl& im = impl();
+  const std::scoped_lock lock{im.mutex};
+
+  // Merge owned counters and external gauges, summing same-named
+  // entries; std::map gives the sorted order the contract promises.
+  std::map<std::string, std::uint64_t> merged;
+  for (const auto& e : im.counters) merged[e.name] += e.cell.get();
+  for (const auto& e : im.externals) merged[e.name] += e.fn();
+
+  // Start from explicit empty objects so a bare registry snapshots as
+  // {"counters": {}, ...}, not null.
+  json::Value counters{json::Object{}};
+  for (const auto& [name, v] : merged)
+    counters.set(name, static_cast<double>(v));
+
+  std::map<std::string, const Histogram*> hists;
+  for (const auto& e : im.histograms) hists[e.name] = &e.cell;
+  json::Value histograms{json::Object{}};
+  for (const auto& [name, h] : hists) {
+    json::Value entry;
+    entry.set("count", static_cast<double>(h->count()));
+    entry.set("sum", static_cast<double>(h->sum()));
+    json::Value buckets{json::Array{}};
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t c = h->bucket(i);
+      if (c == 0) continue;
+      const double lo =
+          i == 0 ? 0.0 : static_cast<double>(std::uint64_t{1} << (i - 1));
+      buckets.push_back(json::Value{
+          json::Array{json::Value{lo}, json::Value{static_cast<double>(c)}}});
+    }
+    entry.set("buckets", std::move(buckets));
+    histograms.set(name, std::move(entry));
+  }
+
+  json::Value out;
+  out.set("counters", std::move(counters));
+  out.set("histograms", std::move(histograms));
+  return out;
+}
+
+}  // namespace raa::obs

@@ -1,0 +1,109 @@
+#pragma once
+/// \file counters.hpp
+/// Named counter/gauge/histogram registry: lazily interned, updated with
+/// relaxed atomics, snapshot into JSON as the report layer's quarantined
+/// "obs" section. Unlike the event rings this is always compiled in —
+/// subsystems use it as their single source of truth for diagnostic
+/// counts (satellite: exec.steals / rt.tasks_executed), and an idle
+/// counter costs nothing until someone bumps it.
+///
+/// Two kinds of entries:
+///  - owned Counter/Histogram cells, interned by name, stable addresses
+///    for the process lifetime (call sites cache the reference once);
+///  - external gauges: a callback sampled at snapshot time. Several
+///    externals may share one name (e.g. one "exec.steals" per live
+///    executor); value() and snapshot_json() sum them. This lets an
+///    object whose counters already exist (the executor's per-slot steal
+///    cells) surface them without duplicating the count anywhere.
+
+#include <atomic>
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "report/json.hpp"
+
+namespace raa::obs {
+
+/// Monotonic relaxed counter. add() is wait-free.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t get() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Log2-bucketed histogram: bucket i holds values v with bit_width(v)==i,
+/// i.e. bucket 0 is {0}, bucket i>=1 is [2^(i-1), 2^i). 65 buckets cover
+/// the full uint64 range; count and sum ride along for means.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  static std::size_t bucket_of(std::uint64_t v) noexcept {
+    return static_cast<std::size_t>(std::bit_width(v));
+  }
+
+  void record(std::uint64_t v) noexcept {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bucket(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/// Process-wide registry. Interning takes a mutex; the returned references
+/// are stable, so hot paths pay only the relaxed atomic op.
+class Registry {
+ public:
+  static Registry& instance();
+
+  /// Intern (or find) the named counter/histogram.
+  Counter& counter(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Attach an external gauge sampled at snapshot/value() time. The
+  /// callback must stay valid until detach_external(token) and must not
+  /// reenter the registry. Returns a non-zero token.
+  using ExternalFn = std::function<std::uint64_t()>;
+  std::uint64_t attach_external(std::string name, ExternalFn fn);
+  void detach_external(std::uint64_t token) noexcept;
+
+  /// Owned counter value plus the sum of all same-named externals.
+  std::uint64_t value(std::string_view name) const;
+
+  /// Snapshot as {"counters": {...}, "histograms": {...}}, names sorted
+  /// for stable output. Histogram buckets serialize as [lower_bound,
+  /// count] pairs, empty buckets omitted.
+  json::Value snapshot_json() const;
+
+ private:
+  Registry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+}  // namespace raa::obs

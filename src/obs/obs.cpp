@@ -1,0 +1,225 @@
+/// \file obs.cpp
+/// Ring storage and session lifecycle for the tracing layer. The rings
+/// store events as arrays of relaxed std::atomic<uint64_t> words (plain
+/// MOVs on x86) with the head published by a release store, so concurrent
+/// emit/drain is data-race-free under TSan without any locking on the
+/// emit path. The registry of rings (one per emitting thread per session)
+/// lives behind a mutex that only the slow path — a thread's first emit
+/// of a session — and start()/stop() take.
+
+#include "obs/obs.hpp"
+
+#include <bit>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace raa::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+namespace {
+
+constexpr std::size_t kWordsPerEvent = 5;
+
+std::uint64_t pack_ids(Name name, Cat cat, Phase phase,
+                       std::uint8_t flags) noexcept {
+  return static_cast<std::uint64_t>(name) |
+         (static_cast<std::uint64_t>(cat) << 16) |
+         (static_cast<std::uint64_t>(phase) << 24) |
+         (static_cast<std::uint64_t>(flags) << 32);
+}
+
+/// One bounded ring, owned by (at most) one writer thread; the drainer
+/// reads it under the registry mutex after clearing the enabled gate.
+struct Ring {
+  explicit Ring(std::size_t capacity_events)
+      : capacity(capacity_events),
+        mask(capacity_events - 1),
+        words(std::make_unique<std::atomic<std::uint64_t>[]>(
+            capacity_events * kWordsPerEvent)) {}
+
+  void write(double sim_ts, std::uint64_t host_ns, std::uint64_t packed,
+             std::uint64_t a0, std::uint64_t a1) noexcept {
+    const std::uint64_t h = head.load(std::memory_order_relaxed);
+    std::atomic<std::uint64_t>* w = &words[(h & mask) * kWordsPerEvent];
+    w[0].store(std::bit_cast<std::uint64_t>(sim_ts),
+               std::memory_order_relaxed);
+    w[1].store(host_ns, std::memory_order_relaxed);
+    w[2].store(packed, std::memory_order_relaxed);
+    w[3].store(a0, std::memory_order_relaxed);
+    w[4].store(a1, std::memory_order_relaxed);
+    // Publish: a drainer that acquires `head` sees the words above.
+    head.store(h + 1, std::memory_order_release);
+  }
+
+  const std::size_t capacity;
+  const std::size_t mask;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> words;
+  std::atomic<std::uint64_t> head{0};  ///< events ever written (no wrap)
+  std::string name;
+  std::uint32_t slot = 0;
+};
+
+struct Global {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<Ring>> rings;  ///< current session only
+  SessionOptions options;
+  std::chrono::steady_clock::time_point session_epoch{};
+  /// Bumped by start() and stop(); a TLS cache whose generation differs
+  /// re-registers (or, when no session is active, emits nowhere).
+  std::atomic<std::uint64_t> generation{0};
+  std::atomic<std::uint64_t> ring_allocs{0};
+};
+
+Global& g() {
+  static Global instance;
+  return instance;
+}
+
+/// The shared_ptr keeps a ring alive for a writer that is mid-emit when
+/// stop() drops the registry's reference — such a write lands in a dead
+/// ring and is discarded, never a use-after-free.
+struct Tls {
+  std::shared_ptr<Ring> ring;
+  std::uint64_t generation = 0;
+  std::string pending_name;
+};
+thread_local Tls t_tls;
+
+std::size_t round_pow2(std::size_t v) {
+  std::size_t c = 64;
+  while (c < v && c < (std::size_t{1} << 30)) c <<= 1;
+  return c;
+}
+
+constexpr const char* kNameStrings[] = {
+    "epoch",        "dram.enqueue", "dram.complete", "dma.chunk",
+    "task.spawn",   "task.run",     "steal.attempt", "steal.success",
+    "worker.park",  "job",          "job.retry",     "job.timeout",
+    "mark"};
+static_assert(sizeof(kNameStrings) / sizeof(kNameStrings[0]) ==
+              static_cast<std::size_t>(Name::mark) + 1);
+
+constexpr const char* kCatStrings[] = {"memsim", "exec", "rt", "fleet",
+                                       "app"};
+static_assert(sizeof(kCatStrings) / sizeof(kCatStrings[0]) ==
+              static_cast<std::size_t>(Cat::app) + 1);
+
+constexpr const char* kPhaseStrings[] = {"instant", "begin", "end",
+                                         "complete"};
+
+}  // namespace
+
+void emit(Cat cat, Name name, Phase phase, std::uint8_t flags, double sim_ts,
+          std::uint64_t a0, std::uint64_t a1) {
+  Global& G = g();
+  Tls& tls = t_tls;
+  if (!tls.ring ||
+      tls.generation != G.generation.load(std::memory_order_acquire)) {
+    // Slow path: first emit on this thread for this session (or a stale
+    // cache from a previous one). Register a fresh ring.
+    const std::scoped_lock lock{G.mutex};
+    if (!detail::g_enabled.load(std::memory_order_relaxed)) return;
+    auto ring = std::make_shared<Ring>(G.options.ring_capacity);
+    ring->slot = static_cast<std::uint32_t>(G.rings.size());
+    ring->name = tls.pending_name.empty()
+                     ? "thread-" + std::to_string(ring->slot)
+                     : tls.pending_name;
+    G.rings.push_back(ring);
+    G.ring_allocs.fetch_add(1, std::memory_order_relaxed);
+    tls.ring = std::move(ring);
+    tls.generation = G.generation.load(std::memory_order_relaxed);
+  }
+  const std::uint64_t host_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - G.session_epoch)
+          .count());
+  tls.ring->write(sim_ts, host_ns, pack_ids(name, cat, phase, flags), a0, a1);
+}
+
+bool start(const SessionOptions& options) {
+  Global& G = g();
+  const std::scoped_lock lock{G.mutex};
+  if (detail::g_enabled.load(std::memory_order_relaxed)) return false;
+  G.options = options;
+  G.options.ring_capacity = round_pow2(options.ring_capacity);
+  G.rings.clear();
+  G.session_epoch = std::chrono::steady_clock::now();
+  G.generation.fetch_add(1, std::memory_order_release);
+  detail::g_enabled.store(true, std::memory_order_release);
+  return true;
+}
+
+bool active() noexcept { return enabled(); }
+
+Trace stop() {
+  Global& G = g();
+  const std::scoped_lock lock{G.mutex};
+  detail::g_enabled.store(false, std::memory_order_seq_cst);
+  Trace out;
+  for (const auto& ring : G.rings) {
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    const std::uint64_t n =
+        head < ring->capacity ? head : static_cast<std::uint64_t>(ring->capacity);
+    out.dropped += head - n;
+    out.events.reserve(out.events.size() + n);
+    for (std::uint64_t i = head - n; i < head; ++i) {
+      const std::atomic<std::uint64_t>* w =
+          &ring->words[(i & ring->mask) * kWordsPerEvent];
+      Event e;
+      e.sim_ts = std::bit_cast<double>(w[0].load(std::memory_order_relaxed));
+      e.host_ns = w[1].load(std::memory_order_relaxed);
+      const std::uint64_t packed = w[2].load(std::memory_order_relaxed);
+      e.name = static_cast<Name>(packed & 0xffff);
+      e.cat = static_cast<Cat>((packed >> 16) & 0xff);
+      e.phase = static_cast<Phase>((packed >> 24) & 0xff);
+      e.flags = static_cast<std::uint8_t>((packed >> 32) & 0xff);
+      e.a0 = w[3].load(std::memory_order_relaxed);
+      e.a1 = w[4].load(std::memory_order_relaxed);
+      e.slot = ring->slot;
+      out.events.push_back(e);
+    }
+    out.threads.push_back(ring->name);
+  }
+  G.rings.clear();
+  // Invalidate TLS caches so a thread outliving this session re-registers
+  // (or drops out) instead of writing into its retired ring forever.
+  G.generation.fetch_add(1, std::memory_order_release);
+  return out;
+}
+
+std::uint64_t ring_allocations() noexcept {
+  return g().ring_allocs.load(std::memory_order_relaxed);
+}
+
+void set_thread_name(std::string name) {
+  Tls& tls = t_tls;
+  tls.pending_name = std::move(name);
+  if (tls.ring) {
+    Global& G = g();
+    const std::scoped_lock lock{G.mutex};
+    tls.ring->name = tls.pending_name;
+  }
+}
+
+const char* name_str(Name name) noexcept {
+  const auto i = static_cast<std::size_t>(name);
+  return i <= static_cast<std::size_t>(Name::mark) ? kNameStrings[i]
+                                                   : "unknown";
+}
+
+const char* cat_str(Cat cat) noexcept {
+  const auto i = static_cast<std::size_t>(cat);
+  return i <= static_cast<std::size_t>(Cat::app) ? kCatStrings[i] : "unknown";
+}
+
+const char* phase_str(Phase phase) noexcept {
+  const auto i = static_cast<std::size_t>(phase);
+  return i < 4 ? kPhaseStrings[i] : "unknown";
+}
+
+}  // namespace raa::obs

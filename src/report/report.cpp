@@ -146,6 +146,7 @@ json::Value RunReport::to_json() const {
   json::Value benches{json::Array{}};
   for (const auto& b : benchmarks_) benches.push_back(b.to_json());
   v.set("benchmarks", std::move(benches));
+  if (obs_) v.set("obs", *obs_);
   return v;
 }
 

@@ -143,6 +143,12 @@ class RunReport {
   /// top-level "wall_seconds" field, never compared against baselines).
   void set_wall_seconds(double s) { wall_seconds_ = s; }
 
+  /// Attach an observability snapshot (obs::Registry::snapshot_json()).
+  /// Serialized as a quarantined top-level "obs" member that the baseline
+  /// comparison never reads; absent unless explicitly set, so reports
+  /// from untraced runs are byte-identical to before the obs layer.
+  void set_obs(json::Value v) { obs_ = std::move(v); }
+
   /// Get-or-create the report for one benchmark.
   BenchReport& benchmark(const std::string& name,
                          const std::string& paper_ref);
@@ -161,6 +167,7 @@ class RunReport {
   int reps_;
   Environment env_;
   std::optional<double> wall_seconds_;
+  std::optional<json::Value> obs_;
   std::vector<BenchReport> benchmarks_;
 };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "obs/counters.hpp"
+#include "obs/obs.hpp"
 
 namespace raa::rt {
 
@@ -26,10 +28,26 @@ Runtime::Runtime(RuntimeOptions options)
       scheduler_(options.policy, options.num_workers, options.seed,
                  [this](detail::TaskBlock* t, unsigned w) {
                    run_popped(t, w);
-                 }) {}
+                 }) {
+  // Expose the per-runtime task counters through the obs registry as
+  // external gauges (summed across live runtimes) so ablation_scheduler
+  // and RuntimeStats read the very same cells — no duplicated counts.
+  auto& reg = obs::Registry::instance();
+  obs_spawned_token_ = reg.attach_external("rt.tasks_spawned", [this] {
+    const std::scoped_lock lock{graph_mutex_};
+    return spawned_;
+  });
+  obs_executed_token_ = reg.attach_external("rt.tasks_executed", [this] {
+    const std::scoped_lock lock{graph_mutex_};
+    return executed_;
+  });
+}
 
 Runtime::~Runtime() {
   taskwait();
+  auto& reg = obs::Registry::instance();
+  reg.detach_external(obs_spawned_token_);
+  reg.detach_external(obs_executed_token_);
   // Stop + join the workers before any member is torn down; after this,
   // member destruction order is irrelevant.
   scheduler_.shutdown();
@@ -102,6 +120,8 @@ TaskId Runtime::spawn_impl(std::vector<Dep> deps, std::function<void()> body,
       scheduler_.push(t, hint);  // push wakes a parked worker itself
       ++ready_count_;
     }
+    RAA_OBS_HOST_EVENT(rt, task_spawn, instant, static_cast<std::uint64_t>(id),
+                       preds.size());
   }
   return id;
 }
@@ -122,6 +142,8 @@ void Runtime::execute(detail::TaskBlock* task, unsigned worker_id) {
     t_current = outer;
   }
   rec.end_ns = now_ns();
+  RAA_OBS_HOST_EVENT(rt, task_run, complete, rec.end_ns - rec.start_ns,
+                     static_cast<std::uint64_t>(task->id));
 
   std::vector<detail::TaskBlock*> newly_ready;
   {

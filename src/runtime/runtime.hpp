@@ -151,6 +151,13 @@ class Runtime {
   std::uint64_t executed_ = 0;
   std::uint64_t ready_count_ = 0;  ///< tasks inside the scheduler
 
+  /// Registry external-gauge handles ("rt.tasks_spawned" /
+  /// "rt.tasks_executed"): the counters above stay the single source of
+  /// truth — RuntimeStats and the obs registry both read them. Detached
+  /// in the destructor before any member is torn down.
+  std::uint64_t obs_spawned_token_ = 0;
+  std::uint64_t obs_executed_token_ = 0;
+
   std::chrono::steady_clock::time_point epoch_;
 
   /// Owns the worker threads (exec::StealingExecutor under the policy

@@ -1,0 +1,105 @@
+// Compile-time-off probe for the tracing gate (built with RAA_OBS_DISABLED
+// on this target only). The obs libraries themselves are compiled once,
+// unconditionally — the gate lives entirely in the obs.hpp macros — so this
+// TU's instrumentation sites must vanish while the linked library code keeps
+// working. The probe asserts, with a live session:
+//   - RAA_OBS_ENABLED is 0 and the macros emit nothing from this TU;
+//   - emitting nothing allocates no rings on this thread;
+//   - a simulator run still produces bit-identical metrics whether or not
+//     a session is active (tracing observes, never perturbs).
+// Exit 0 on success, 1 with a diagnostic on the first failed check.
+
+#include <cstdio>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "kernels/program.hpp"
+#include "memsim/system.hpp"
+#include "obs/obs.hpp"
+
+#if RAA_OBS_ENABLED
+#error "obs_off_probe must be compiled with RAA_OBS_DISABLED"
+#endif
+
+namespace {
+
+int failures = 0;
+
+void check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "obs_off_probe: FAIL: %s\n", what);
+    ++failures;
+  }
+}
+
+raa::mem::Workload tiny_workload(const raa::mem::SystemConfig& cfg) {
+  using namespace raa::kern;
+  raa::mem::Workload w;
+  w.name = "off_probe";
+  AddressSpace as{cfg.dma_chunk_bytes};
+  const raa::mem::Region& r =
+      as.add(w, "data", cfg.tiles * cfg.dma_chunk_bytes,
+             raa::mem::RefClass::strided);
+  for (unsigned c = 0; c < cfg.tiles; ++c) {
+    std::vector<Phase> ph;
+    ph.push_back(Phase{
+        .streams = {Stream{.region = &r, .store = false,
+                           .start = c * cfg.dma_chunk_bytes, .stride = 8}},
+        .iterations = cfg.dma_chunk_bytes / 8,
+        .gap_cycles = 1});
+    w.programs.push_back(std::make_unique<ScriptedProgram>(std::move(ph), c));
+  }
+  return w;
+}
+
+}  // namespace
+
+int main() {
+  namespace obs = raa::obs;
+  raa::mem::SystemConfig cfg;
+  cfg.tiles = 4;
+  cfg.mesh_x = 2;
+  cfg.mesh_y = 2;
+
+  // Baseline metrics without any session.
+  raa::mem::Metrics plain;
+  {
+    raa::mem::System sys{cfg, raa::mem::HierarchyMode::hybrid};
+    raa::mem::Workload w = tiny_workload(cfg);
+    plain = sys.run(w);
+  }
+
+  // This TU's macro sites are dead code: with a session active, hammering
+  // them records nothing and allocates no ring for this thread.
+  check(obs::start(), "start() begins a session");
+  const std::uint64_t allocs_before = obs::ring_allocations();
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    RAA_OBS_HOST_EVENT(app, mark, instant, i, i + 1);
+    RAA_OBS_SIM_EVENT(memsim, dram_enqueue, instant,
+                      static_cast<double>(i), i, 0u);
+  }
+  check(obs::ring_allocations() == allocs_before,
+        "disabled macros allocate no rings");
+
+  // The linked (gate-on) library still works under the active session, and
+  // tracing does not perturb the simulated metrics.
+  raa::mem::Metrics traced;
+  {
+    raa::mem::System sys{cfg, raa::mem::HierarchyMode::hybrid};
+    raa::mem::Workload w = tiny_workload(cfg);
+    traced = sys.run(w);
+  }
+  const obs::Trace t = obs::stop();
+  check(traced == plain, "gated metrics identical with tracing active");
+
+  // Every drained event came from the instrumented library, none from this
+  // TU's dead macro sites (our a0/a1 pattern never appears as a mark).
+  for (const obs::Event& e : t.events)
+    check(!(e.name == obs::Name::mark && e.cat == obs::Cat::app),
+          "no events from disabled macro sites");
+
+  if (failures == 0) std::printf("obs_off_probe: ok (%zu library events)\n",
+                                 t.events.size());
+  return failures == 0 ? 0 : 1;
+}

@@ -368,4 +368,32 @@ TEST(Fleet, IndexRecordsSchemaCountsAndPerJobSeeds) {
   EXPECT_TRUE(idx.find("informational")->find("wall_seconds"));
 }
 
+TEST(FleetEquivalence, InformationalJobWallSpansCoverManifestInOrder) {
+  FleetOptions opt;
+  opt.manifest = small_manifest();
+  const FleetResult res = run_fleet(opt);
+  ASSERT_EQ(res.exit_code, raa::kExitOk);
+
+  // job_wall_ms lives inside the quarantined informational block (values
+  // are host-dependent), but its *shape* is deterministic: one entry per
+  // manifest job, in manifest order.
+  const Value* info = res.index.find("informational");
+  ASSERT_TRUE(info);
+  const Value* spans = info->find("job_wall_ms");
+  ASSERT_TRUE(spans && spans->is_array());
+  const auto& arr = spans->as_array();
+  ASSERT_EQ(arr.size(), 3u);
+  const char* ids[] = {"alpha", "beta", "gamma"};
+  for (std::size_t i = 0; i < arr.size(); ++i) {
+    ASSERT_TRUE(arr[i].find("id"));
+    EXPECT_EQ(arr[i].find("id")->as_string(), ids[i]);
+    ASSERT_TRUE(arr[i].find("wall_ms"));
+    EXPECT_GE(arr[i].find("wall_ms")->as_number(), 0.0);
+  }
+
+  // And the gated index stays free of it: stripping informational removes
+  // every host-dependent field (the byte-determinism contract upstream).
+  EXPECT_EQ(gated_index(res).dump(2).find("job_wall_ms"), std::string::npos);
+}
+
 }  // namespace

@@ -25,6 +25,8 @@
 //                    the job id — stable under manifest reordering)
 //   --fail-fast      record still-unstarted jobs as skipped once any job
 //                    has failed
+//   --trace-out=PATH write a Chrome trace-event JSON of the fleet run
+//                    (host clock: job spans, retries, timeouts)
 //
 //   --inject-fail=GLOB / --inject-flaky=GLOB / --inject-hang=GLOB
 //                    fault-injection test hooks over job ids: permanent
@@ -45,6 +47,8 @@
 #include "common/exit_codes.hpp"
 #include "common/table.hpp"
 #include "fleet/fleet.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace_export.hpp"
 
 namespace {
 
@@ -55,6 +59,7 @@ int usage(const char* argv0) {
       "       [--mode=cache_only|hybrid|compare] [--backend=flat|banked]\n"
       "       [--shards=N] [--timeout-ms=N] [--retries=N] [--backoff-ms=N]\n"
       "       [--backoff-cap-ms=N] [--seed=N] [--fail-fast] [--quiet]\n"
+      "       [--trace-out=PATH]\n"
       "       [--inject-fail=GLOB] [--inject-flaky=GLOB] "
       "[--inject-hang=GLOB]\n",
       argv0);
@@ -109,7 +114,27 @@ int main(int argc, char** argv) {
   opt.fail_fast = cli.get_bool("fail-fast", false);
   opt.quiet = cli.get_bool("quiet", false);
 
+  // Fleet spans live on the host clock (job wall time is the point), so
+  // the exported trace always uses TraceClock::host.
+  const std::string trace_out = cli.get_string("trace-out", "");
+  if (!trace_out.empty()) raa::obs::start();
+
   const raa::fleet::FleetResult res = raa::fleet::run_fleet(opt);
+
+  if (!trace_out.empty()) {
+    const raa::obs::Trace trace = raa::obs::stop();
+    std::string trace_error;
+    if (!raa::obs::write_chrome_trace(trace, trace_out,
+                                      raa::obs::TraceClock::host,
+                                      &trace_error)) {
+      std::fprintf(stderr, "raa_fleet: %s\n", trace_error.c_str());
+      return raa::kExitFailure;
+    }
+    if (!opt.quiet)
+      std::printf("[raa_fleet] wrote trace %s (%zu events, %llu dropped)\n",
+                  trace_out.c_str(), trace.events.size(),
+                  static_cast<unsigned long long>(trace.dropped));
+  }
   if (!res.error.empty())
     std::fprintf(stderr, "raa_fleet: %s\n", res.error.c_str());
   if (res.records.empty()) return res.exit_code;

@@ -51,6 +51,9 @@
 #include "common/cli.hpp"
 #include "common/exit_codes.hpp"
 #include "common/table.hpp"
+#include "obs/counters.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace_export.hpp"
 #include "fleet/job.hpp"  // record_metrics — shared with the fleet engine
 #include "fuzz/genscenario.hpp"  // kMarkerRegionName (header-only use)
 #include "memsim/system.hpp"
@@ -84,10 +87,12 @@ int usage(const char* argv0) {
       "usage: %s --scenario=FILE [--mode=cache_only|hybrid|compare] "
       "[--backend=flat|banked] [--mapping=block|xor] [--seed=N] "
       "[--shards=N] [--record=TRACE] "
-      "[--json=PATH] [--selfcheck] [--fail-on-marker] [--quiet]\n"
+      "[--json=PATH] [--trace-out=PATH] [--trace-clock=sim|host|dual] "
+      "[--selfcheck] [--fail-on-marker] [--quiet]\n"
       "       %s --replay=TRACE [--mode=cache_only|hybrid] "
       "[--backend=flat|banked] [--mapping=block|xor] [--shards=N] "
-      "[--json=PATH] [--selfcheck] "
+      "[--json=PATH] [--trace-out=PATH] [--trace-clock=sim|host|dual] "
+      "[--selfcheck] "
       "[--quiet]\n",
       argv0, argv0);
   return raa::kExitUsage;
@@ -174,6 +179,14 @@ int main(int argc, char** argv) try {
   const std::string json_path = cli.get_string("json", "");
   const bool selfcheck = cli.get_bool("selfcheck", false);
   const bool quiet = cli.get_bool("quiet", false);
+  const std::string trace_out = cli.get_string("trace-out", "");
+  const auto trace_clock =
+      raa::obs::parse_trace_clock(cli.get_string("trace-clock", "sim"));
+  if (!trace_clock) {
+    std::fprintf(stderr,
+                 "error: --trace-clock must be sim, host or dual\n");
+    return usage(argv[0]);
+  }
   const auto shards = static_cast<unsigned>(
       std::max<std::int64_t>(1, cli.get_int("shards", 1)));
 
@@ -302,6 +315,10 @@ int main(int argc, char** argv) try {
   }
 
   // --- main run(s) --------------------------------------------------------
+  // The tracing session brackets exactly the main runs (not the
+  // selfcheck re-runs), so a sim-clock trace is a function of the
+  // scenario alone — byte-identical for any --shards (TraceDeterminism).
+  if (!trace_out.empty()) raa::obs::start();
   using clock = std::chrono::steady_clock;
   const auto t0 = clock::now();
   std::vector<Metrics> results;
@@ -314,6 +331,21 @@ int main(int argc, char** argv) try {
   }
   const double wall =
       std::chrono::duration<double>(clock::now() - t0).count();
+  if (!trace_out.empty()) {
+    const raa::obs::Trace obs_trace = raa::obs::stop();
+    std::string error;
+    if (!raa::obs::write_chrome_trace(obs_trace, trace_out, *trace_clock,
+                                      &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return raa::kExitFailure;
+    }
+    if (!quiet)
+      std::printf(
+          "wrote trace %s (%zu events, %llu dropped, clock=%s)\n",
+          trace_out.c_str(), obs_trace.events.size(),
+          static_cast<unsigned long long>(obs_trace.dropped),
+          raa::obs::trace_clock_str(*trace_clock));
+  }
 
   if (!record_path.empty()) {
     std::string error;
@@ -394,6 +426,10 @@ int main(int argc, char** argv) try {
                results[0].noc_flit_hops / results[1].noc_flit_hops, "x");
     }
     b.record_info("wall_seconds", wall, "s");
+    // Quarantined "obs" section: only attached when a tracing session
+    // ran, so untraced reports keep their exact pre-obs bytes.
+    if (!trace_out.empty())
+      run.set_obs(raa::obs::Registry::instance().snapshot_json());
     if (!write_and_validate_json(run, json_path))
       return raa::kExitFailure;
   }
